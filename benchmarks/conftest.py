@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each benchmark file regenerates one table or figure from the paper's evaluation section.  The
+``emit`` fixture prints the regenerated rows/series (visible with ``pytest -s``) and also
+writes them to ``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Return a function that prints a rendered table and persists it to the results dir."""
+
+    def _emit(name: str, text: str) -> str:
+        print("\n" + text + "\n")
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        return path
+
+    return _emit

@@ -1,0 +1,52 @@
+"""Figure 11: token throughput at fixed batch sizes (16 and 128) on LLaMA2-7B and LLaMA2-70B.
+
+Unlike Table 1 (which searches for each system's best batch), this comparison holds the batch
+size fixed — batch 16 is generally memory-bound, batch 128 approaches compute-bound.  Missing
+bars mean the configuration does not fit in 80 GB.  LiquidServe must lead in every feasible
+configuration, as in the paper.
+"""
+
+import pytest
+
+from repro.reporting import format_table
+from repro.serving import ServingEngine, TABLE1_SYSTEMS
+
+MODELS = ["llama2-7b", "llama2-70b"]
+BATCHES = [16, 128]
+
+
+def build_fixed_batch():
+    table = {}
+    for model in MODELS:
+        for batch in BATCHES:
+            row = {}
+            for system in TABLE1_SYSTEMS:
+                engine = ServingEngine(system, model)
+                if not engine.supported or batch > engine.max_batch_size(1536):
+                    row[system] = None
+                    continue
+                row[system] = engine.throughput(batch).tokens_per_second
+            table[(model, batch)] = row
+    return table
+
+
+def test_fig11_fixed_batch(benchmark, emit):
+    table = benchmark(build_fixed_batch)
+    rows = []
+    for (model, batch), row in table.items():
+        for system, value in row.items():
+            rows.append([model, batch, system, "OOM" if value is None else round(value)])
+    text = format_table(
+        ["model", "batch", "system", "tokens/s"],
+        rows,
+        title="Figure 11 — throughput at fixed batch sizes 16 and 128",
+    )
+    emit("fig11_fixed_batch", text)
+
+    for (model, batch), row in table.items():
+        feasible = {s: v for s, v in row.items() if v is not None}
+        assert "liquidserve" in feasible
+        best_other = max(v for s, v in feasible.items() if s != "liquidserve")
+        assert feasible["liquidserve"] >= best_other * 0.999, (model, batch)
+    # FP16 cannot hold LLaMA2-70B at batch 128 (nor at 16) within 80 GB.
+    assert table[("llama2-70b", 128)]["trt-fp16"] is None

@@ -1,0 +1,76 @@
+"""Figure 12: GEMM latency of all kernels on single-layer workloads, batch 4-256.
+
+The unified kernel comparison: FP16, W8A8, FP8, W4A16, QServe W4A8 and LiquidGEMM on the
+fused QKV / output-projection / FFN GEMMs of LLaMA2-7B, LLaMA2-13B, LLaMA2-70B and
+Mixtral-8x7B.  The relationships that must reproduce: LiquidGEMM ~2-3x faster than QServe at
+batch 256, 1.1-1.6x faster than the TRT kernels in the compute-bound regime, and 4-bit
+kernels winning the memory-bound (small batch) regime.
+"""
+
+import pytest
+
+from repro.kernels import default_comparison_set
+from repro.reporting import format_series
+from repro.serving import get_model
+from repro.workloads import PAPER_BATCH_SIZES, decode_layer_gemms
+
+MODELS = ["llama2-7b", "llama2-13b", "llama2-70b", "mixtral-8x7b"]
+
+
+def layer_latency_us(kernel, model, batch):
+    gemms = decode_layer_gemms(model, batch)
+    if model.is_moe:
+        total = sum(kernel.estimate(s, "H800").latency_s for s in gemms.attention_gemms())
+        total += kernel.estimate(gemms.gate_up[0], "H800", group_sizes=gemms.gate_up).latency_s
+        total += kernel.estimate(gemms.down[0], "H800", group_sizes=gemms.down).latency_s
+    else:
+        total = sum(kernel.estimate(s, "H800").latency_s for s in gemms.all())
+    return total * 1e6
+
+
+def build_sweep(model_name):
+    model = get_model(model_name)
+    kernels = default_comparison_set()
+    return {
+        name: [layer_latency_us(kernel, model, b) for b in PAPER_BATCH_SIZES]
+        for name, kernel in kernels.items()
+    }
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_fig12_kernel_latency(benchmark, emit, model_name):
+    sweep = benchmark(build_sweep, model_name)
+    text = format_series(
+        "batch", list(PAPER_BATCH_SIZES), sweep,
+        title=f"Figure 12 — per-layer GEMM latency (us) on {model_name}, all kernels",
+        float_fmt="{:.1f}",
+    )
+    speedup_qserve = sweep["qserve-w4a8"][-1] / sweep["liquidgemm"][-1]
+    speedup_w8a8 = sweep["w8a8"][-1] / sweep["liquidgemm"][-1]
+    speedup_w4a16 = sweep["w4a16"][-1] / sweep["liquidgemm"][-1]
+    text += (
+        f"\n\nLiquidGEMM speedup at batch 256: {speedup_qserve:.2f}x vs QServe "
+        f"(paper 2.75-2.90x), {speedup_w8a8:.2f}x vs W8A8, {speedup_w4a16:.2f}x vs W4A16"
+    )
+    emit(f"fig12_kernel_latency_{model_name}", text)
+
+    liquid = sweep["liquidgemm"]
+    # LiquidGEMM is the fastest kernel at every batch size on every model.
+    for name, series in sweep.items():
+        for b_idx in range(len(PAPER_BATCH_SIZES)):
+            assert liquid[b_idx] <= series[b_idx] * 1.001, (name, PAPER_BATCH_SIZES[b_idx])
+    # Large-batch speedups in the right ballpark.
+    if model_name == "mixtral-8x7b":
+        # The paper reports Mixtral against the TRT kernels (QServe has no Mixtral support):
+        # 1.41-1.84x over TRT-FP8 and 1.12-2.53x over TRT-W4A16 beyond batch 32.
+        # In this reproduction the per-expert GEMMs (M = batch/4) remain memory-bound at batch
+        # 256, so the W4A16 gap is smaller than the paper's measured 1.12-2.53x; the FP8 gap
+        # (driven by weight bytes) reproduces.  See EXPERIMENTS.md.
+        speedup_fp8 = sweep["fp8"][-1] / sweep["liquidgemm"][-1]
+        assert speedup_fp8 > 1.1
+        assert speedup_w4a16 >= 1.0
+    else:
+        assert speedup_qserve > 1.8
+        assert 1.05 < speedup_w8a8 < 2.0
+        # QServe degrades with batch size (latency grows superlinearly vs LiquidGEMM's).
+        assert sweep["qserve-w4a8"][-1] / sweep["qserve-w4a8"][0] > liquid[-1] / liquid[0]

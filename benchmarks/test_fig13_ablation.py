@@ -1,0 +1,75 @@
+"""Figure 13: ablation of LiquidGEMM — Baseline, +LQQ, +ExCP, +ImFP.
+
+Runs the event-driven warp-group pipeline simulator for the four ablation configurations on
+the single-layer GEMM workloads of LLaMA2-7B/13B/70B and Mixtral-8x7B across batch sizes, and
+reports speedups relative to the Baseline (QServe-style dequantization, serial pipeline).
+Shapes to reproduce: LQQ alone helps once compute-bound (paper: up to 1.29x), ExCP regresses
+below 1.0 at small batch, ImFP is the best configuration everywhere.
+"""
+
+import pytest
+
+from repro.kernels import ablation_kernels
+from repro.reporting import format_series
+from repro.serving import get_model
+from repro.workloads import PAPER_BATCH_SIZES, decode_layer_gemms
+
+MODELS = ["llama2-7b", "llama2-13b", "llama2-70b", "mixtral-8x7b"]
+
+
+def layer_latency(kernel, model, batch):
+    gemms = decode_layer_gemms(model, batch)
+    if model.is_moe:
+        total = sum(
+            kernel.estimate(s, "H800", use_pipeline_sim=True).latency_s
+            for s in gemms.attention_gemms()
+        )
+        total += kernel.estimate(
+            gemms.gate_up[0], "H800", use_pipeline_sim=True, group_sizes=gemms.gate_up
+        ).latency_s
+        total += kernel.estimate(
+            gemms.down[0], "H800", use_pipeline_sim=True, group_sizes=gemms.down
+        ).latency_s
+    else:
+        total = sum(
+            kernel.estimate(s, "H800", use_pipeline_sim=True).latency_s for s in gemms.all()
+        )
+    return total
+
+
+def build_ablation(model_name):
+    model = get_model(model_name)
+    kernels = ablation_kernels()
+    latencies = {
+        name: [layer_latency(kernel, model, b) for b in PAPER_BATCH_SIZES]
+        for name, kernel in kernels.items()
+    }
+    speedups = {
+        name: [latencies["baseline"][i] / latencies[name][i] for i in range(len(PAPER_BATCH_SIZES))]
+        for name in kernels
+    }
+    return speedups
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_fig13_ablation(benchmark, emit, model_name):
+    speedups = benchmark(build_ablation, model_name)
+    text = format_series(
+        "batch", list(PAPER_BATCH_SIZES), speedups,
+        title=f"Figure 13 — ablation speedup over Baseline on {model_name}",
+    )
+    emit(f"fig13_ablation_{model_name}", text)
+
+    largest = -1
+    # LQQ alone provides a clear speedup once the problem is compute-bound.
+    assert speedups["lqq"][largest] > 1.15
+    # ExCP regresses below the baseline at the smallest batch (sync + round-trip overhead)...
+    assert speedups["excp"][0] < 1.0
+    # ...but becomes beneficial (or at worst neutral, for the memory-bound per-expert GEMMs of
+    # the MoE model) at large batch.
+    excp_floor = 1.0 if model_name == "mixtral-8x7b" else 1.1
+    assert speedups["excp"][largest] >= excp_floor
+    # ImFP is the best configuration at every batch size.
+    for i in range(len(PAPER_BATCH_SIZES)):
+        assert speedups["imfp"][i] >= max(speedups["lqq"][i], speedups["excp"][i]) - 0.01
+        assert speedups["imfp"][i] >= 0.99

@@ -1,0 +1,45 @@
+"""Figure 1c: roofline analysis of GEMM precision configurations on A100 and H100.
+
+Regenerates the attainable-throughput curves (TOPS vs batch size / arithmetic intensity) for
+FP16, W8A8, FP8, W4A16, W4A8 and, on A100, W4A4 — plus the ridge (memory-to-compute
+transition) batch size per configuration.
+"""
+
+import pytest
+
+from repro.costmodel import STANDARD_CONFIGS, ridge_points, roofline_curve
+from repro.gpu import A100, H100
+from repro.reporting import format_series, format_table
+
+BATCH_SIZES = [1, 2, 4, 8, 16, 32, 64, 128, 150, 256, 300, 512, 1024]
+
+
+def build_roofline(gpu):
+    curves = {}
+    for name, config in STANDARD_CONFIGS.items():
+        if not gpu.supports_precision(config.mma_precision):
+            continue
+        points = roofline_curve(gpu, config, BATCH_SIZES)
+        curves[name] = [p.attainable_tops / 1e12 for p in points]
+    return curves
+
+
+@pytest.mark.parametrize("gpu", [A100, H100], ids=lambda g: g.name)
+def test_fig1_roofline(benchmark, emit, gpu):
+    curves = benchmark(build_roofline, gpu)
+    series_text = format_series(
+        "batch", BATCH_SIZES, curves,
+        title=f"Figure 1c — attainable TOPS vs batch size on {gpu.name}",
+        float_fmt="{:.1f}",
+    )
+    ridges = ridge_points(gpu)
+    ridge_text = format_table(
+        ["config", "ridge batch size"],
+        sorted(ridges.items()),
+        title=f"Memory/compute transition points on {gpu.name} (paper §3.3: W4A8≈150, W8A8≈300 on H100)",
+    )
+    emit(f"fig1_roofline_{gpu.name.lower()}", series_text + "\n\n" + ridge_text)
+
+    # Shape assertions: W4A8 doubles W8A8's memory-bound throughput and halves its ridge.
+    assert curves["w4a8"][0] == pytest.approx(2 * curves["w8a8"][0])
+    assert ridges["w4a8"] == pytest.approx(ridges["w8a8"] / 2)

@@ -1,0 +1,57 @@
+"""Figure 4: GEMM / Attention / Others share of end-to-end inference time.
+
+Regenerates the decode-step time breakdown across batch sizes for LLaMA2-7B and Mixtral-8x7B
+at input lengths 128 and 1024 (the paper's two settings), using the FP16 serving
+configuration of the motivation study.  The paper's observations to preserve: GEMM dominates
+at small batch, remains >20% at large batch with long sequences on LLaMA2-7B, and stays the
+primary contributor for Mixtral because of the per-expert GEMMs.
+"""
+
+import pytest
+
+from repro.reporting import format_table
+from repro.serving import ServingEngine
+from repro.workloads import PAPER_BATCH_SIZES
+
+
+def build_breakdown(model_name, input_len):
+    system = "trt-fp16" if model_name == "llama2-7b" else "trt-fp8"
+    engine = ServingEngine(system, model_name)
+    rows = []
+    for batch in PAPER_BATCH_SIZES:
+        if batch > engine.max_batch_size(input_len + 128):
+            rows.append((batch, None))
+            continue
+        breakdown = engine.layer_breakdown(batch, input_len)
+        rows.append((batch, breakdown.fractions()))
+    return rows
+
+
+@pytest.mark.parametrize("model_name", ["llama2-7b", "mixtral-8x7b"])
+@pytest.mark.parametrize("input_len", [128, 1024])
+def test_fig4_time_breakdown(benchmark, emit, model_name, input_len):
+    rows = benchmark(build_breakdown, model_name, input_len)
+    table_rows = []
+    for batch, fractions in rows:
+        if fractions is None:
+            table_rows.append([batch, "OOM", "OOM", "OOM"])
+        else:
+            table_rows.append([batch, fractions["gemm"], fractions["attention"], fractions["others"]])
+    text = format_table(
+        ["batch", "GEMM", "Attention", "Others"],
+        table_rows,
+        title=f"Figure 4 — decode time breakdown, {model_name}, input length {input_len}",
+    )
+    emit(f"fig4_breakdown_{model_name}_len{input_len}", text)
+
+    fractions = {batch: f for batch, f in rows if f is not None}
+    smallest = min(fractions)
+    # GEMM dominates the smallest batch.
+    assert fractions[smallest]["gemm"] > 0.5
+    # GEMM stays above 20% at the largest feasible batch (Figure 4's observation).
+    largest = max(fractions)
+    assert fractions[largest]["gemm"] > 0.2
+    if model_name == "mixtral-8x7b":
+        # MoE keeps GEMM the largest single contributor across all batch sizes.
+        for f in fractions.values():
+            assert f["gemm"] >= max(f["attention"], f["others"]) * 0.9

@@ -1,0 +1,46 @@
+"""Section 3.3: cost-model predictions — transition batch sizes and the alpha budget.
+
+Regenerates the numbers the paper derives from Figure 1's metrics: the memory-to-compute
+transition batch sizes for W4A8 and W8A8 on A100/H100, and the dequantization instruction
+budget (alpha <= 5.07 memory-bound, <= 5.05 compute-bound at batch 150).
+"""
+
+import pytest
+
+from repro.costmodel import alpha_budget, transition_batch_size
+from repro.gpu import A100, H100
+from repro.reporting import format_table
+
+
+def build_cost_model_numbers():
+    rows = []
+    for gpu in (A100, H100):
+        for name, weight, mma in (("w4a8", "int4", "int8"), ("w8a8", "int8", "int8")):
+            rows.append([gpu.name, name, transition_batch_size(gpu, weight, mma)])
+    budgets = {
+        "memory-bound (T_DQ <= T_LD)": alpha_budget(H100, "int4", "int8"),
+        "compute-bound at M=150 (T_DQ <= T_MMA)": alpha_budget(H100, "int4", "int8", 150),
+    }
+    return rows, budgets
+
+
+def test_sec33_cost_model(benchmark, emit):
+    rows, budgets = benchmark(build_cost_model_numbers)
+    text = format_table(
+        ["GPU", "config", "transition batch size"],
+        rows,
+        title="Section 3.3 — memory/compute transition points (paper: 150 / 300 on H100, 156 on A100)",
+    )
+    text += "\n\n" + format_table(
+        ["condition", "alpha budget (instr/element)"],
+        sorted(budgets.items()),
+        title="Dequantization instruction budget on H100 (paper: 5.07 / 5.05)",
+    )
+    emit("sec33_cost_model", text)
+
+    values = {(gpu, cfg): v for gpu, cfg, v in rows}
+    assert values[("H100", "w4a8")] == pytest.approx(150, abs=1)
+    assert values[("H100", "w8a8")] == pytest.approx(300, abs=1)
+    assert values[("A100", "w8a8")] == pytest.approx(156, abs=1)
+    assert budgets["memory-bound (T_DQ <= T_LD)"] == pytest.approx(5.07, abs=0.05)
+    assert budgets["compute-bound at M=150 (T_DQ <= T_MMA)"] == pytest.approx(5.07, abs=0.05)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Ablation walkthrough: how much each LiquidGEMM technique contributes (Figure 13).
+
+Runs the event-driven warp-group pipeline simulator for the four ablation configurations
+(Baseline, +LQQ, +ExCP, +ImFP) on a chosen model's layer GEMMs, and prints per-batch speedups
+together with the pipeline diagnostics (resource utilization and bubble fraction) that explain
+*why* ExCP underperforms ImFP.
+
+Run:  python examples/ablation_pipeline.py [model-name]
+"""
+
+import sys
+
+from repro.costmodel import GemmShape
+from repro.kernels import ablation_kernels
+from repro.reporting import format_series, format_table
+from repro.serving import get_model
+from repro.workloads import PAPER_BATCH_SIZES, decode_layer_gemms
+
+
+def layer_latency(kernel, model, batch):
+    gemms = decode_layer_gemms(model, batch)
+    if model.is_moe:
+        total = sum(kernel.estimate(s, "H800", use_pipeline_sim=True).latency_s
+                    for s in gemms.attention_gemms())
+        total += kernel.estimate(gemms.gate_up[0], "H800", use_pipeline_sim=True,
+                                 group_sizes=gemms.gate_up).latency_s
+        total += kernel.estimate(gemms.down[0], "H800", use_pipeline_sim=True,
+                                 group_sizes=gemms.down).latency_s
+        return total
+    return sum(kernel.estimate(s, "H800", use_pipeline_sim=True).latency_s for s in gemms.all())
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "llama2-7b"
+    model = get_model(model_name)
+    kernels = ablation_kernels()
+
+    latencies = {
+        name: [layer_latency(kernel, model, b) for b in PAPER_BATCH_SIZES]
+        for name, kernel in kernels.items()
+    }
+    speedups = {
+        name: [latencies["baseline"][i] / latencies[name][i] for i in range(len(PAPER_BATCH_SIZES))]
+        for name in kernels
+    }
+    print(format_series(
+        "batch", list(PAPER_BATCH_SIZES), speedups,
+        title=f"Ablation speedup over Baseline on {model_name} (Figure 13)",
+    ))
+
+    # Pipeline diagnostics for the largest batch on the FFN GEMM.
+    shape = GemmShape(PAPER_BATCH_SIZES[-1], 2 * model.intermediate_size, model.hidden_size)
+    rows = []
+    for name, kernel in kernels.items():
+        report = kernel.estimate(shape, "H800", use_pipeline_sim=True)
+        pipeline = report.pipeline
+        rows.append([
+            name,
+            report.latency_us,
+            pipeline.utilization("tensor"),
+            pipeline.utilization("cuda"),
+            pipeline.utilization("tma"),
+            pipeline.bubble_fraction,
+        ])
+    print()
+    print(format_table(
+        ["config", "latency (us)", "tensor util", "cuda util", "tma util", "bubbles"],
+        rows,
+        title=f"Pipeline diagnostics for the FFN GEMM at batch {PAPER_BATCH_SIZES[-1]}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Kernel comparison: Figure 12-style latency sweep across all kernels and batch sizes.
+
+Evaluates every registered kernel (FP16, W8A8, FP8, W4A16, QServe W4A8, LiquidGEMM) on the
+single-layer GEMM workload of a chosen model for batch sizes 4-256 and prints the latency
+table plus the LiquidGEMM speedups, mirroring the paper's unified kernel benchmark.
+
+Run:  python examples/kernel_comparison.py [model-name] [gpu]
+      e.g. python examples/kernel_comparison.py llama2-13b H800
+"""
+
+import sys
+
+from repro.kernels import default_comparison_set
+from repro.reporting import format_series
+from repro.serving import get_model
+from repro.workloads import PAPER_BATCH_SIZES, decode_layer_gemms
+
+
+def layer_latency_us(kernel, model, batch, gpu):
+    gemms = decode_layer_gemms(model, batch)
+    if model.is_moe:
+        total = sum(kernel.estimate(s, gpu).latency_s for s in gemms.attention_gemms())
+        total += kernel.estimate(gemms.gate_up[0], gpu, group_sizes=gemms.gate_up).latency_s
+        total += kernel.estimate(gemms.down[0], gpu, group_sizes=gemms.down).latency_s
+    else:
+        total = sum(kernel.estimate(s, gpu).latency_s for s in gemms.all())
+    return total * 1e6
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "llama2-7b"
+    gpu = sys.argv[2] if len(sys.argv) > 2 else "H800"
+    model = get_model(model_name)
+    kernels = default_comparison_set()
+
+    sweep = {
+        name: [layer_latency_us(kernel, model, b, gpu) for b in PAPER_BATCH_SIZES]
+        for name, kernel in kernels.items()
+    }
+    print(format_series(
+        "batch", list(PAPER_BATCH_SIZES), sweep,
+        title=f"Per-layer GEMM latency (us) on {model_name} / {gpu}",
+        float_fmt="{:.1f}",
+    ))
+
+    print("\nLiquidGEMM speedup at each batch size:")
+    for i, batch in enumerate(PAPER_BATCH_SIZES):
+        speedups = {
+            name: sweep[name][i] / sweep["liquidgemm"][i]
+            for name in kernels if name != "liquidgemm"
+        }
+        rendered = "  ".join(f"{name}: {value:4.2f}x" for name, value in speedups.items())
+        print(f"  batch {batch:>3}: {rendered}")
+
+
+if __name__ == "__main__":
+    main()

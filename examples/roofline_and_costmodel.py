@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Roofline and cost-model exploration (Figure 1c and Section 3.3).
+
+Prints the roofline ridge points for every precision configuration on A100 and H100, the
+memory/compute transition batch sizes, the dequantization instruction budget, and a
+sensitivity sweep showing how the W4A8 transition point moves as memory bandwidth scales —
+the hardware-trend argument of Section 3.3 ("Tensor Core performance is improving faster than
+memory bandwidth").
+
+Run:  python examples/roofline_and_costmodel.py
+"""
+
+from repro.costmodel import STANDARD_CONFIGS, alpha_budget, ridge_points, roofline_curve, \
+    transition_batch_size
+from repro.gpu import A100, H100
+from repro.reporting import format_series, format_table
+
+
+def main() -> None:
+    batches = [1, 4, 16, 64, 150, 256, 300, 512]
+    for gpu in (A100, H100):
+        curves = {
+            name: [p.attainable_tops / 1e12 for p in roofline_curve(gpu, cfg, batches)]
+            for name, cfg in STANDARD_CONFIGS.items()
+            if gpu.supports_precision(cfg.mma_precision)
+        }
+        print(format_series("batch", batches, curves,
+                            title=f"Attainable TOPS on {gpu.name} (Figure 1c)", float_fmt="{:.0f}"))
+        print()
+        print(format_table(["config", "ridge batch"], sorted(ridge_points(gpu).items()),
+                           title=f"Memory-to-compute transition points on {gpu.name}"))
+        print()
+
+    print(format_table(
+        ["condition", "alpha budget"],
+        [
+            ["memory-bound (T_DQ <= T_LD)", alpha_budget(H100, "int4", "int8")],
+            ["compute-bound at M=150", alpha_budget(H100, "int4", "int8", 150)],
+        ],
+        title="Dequantization instruction budget on H100 (Section 3.3)",
+    ))
+
+    # Hardware-trend sensitivity: scale memory bandwidth while holding Tensor Cores fixed.
+    rows = []
+    for bandwidth_scale in (0.5, 0.75, 1.0, 1.5, 2.0):
+        gpu = H100.scaled(bandwidth=bandwidth_scale)
+        rows.append([
+            f"{bandwidth_scale:.2f}x",
+            transition_batch_size(gpu, "int8", "int8"),
+            transition_batch_size(gpu, "int4", "int8"),
+        ])
+    print()
+    print(format_table(
+        ["memory bandwidth", "W8A8 transition batch", "W4A8 transition batch"],
+        rows,
+        title="Sensitivity: slower memory pushes the compute-bound transition to larger batches",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Quantization accuracy study on synthetic weight distributions (§7.1 accuracy claim)."""
+
+from .study import (
+    STANDARD_DISTRIBUTIONS,
+    AccuracyStudy,
+    SchemeResult,
+    WeightDistribution,
+    run_accuracy_study,
+)
+
+__all__ = [
+    "STANDARD_DISTRIBUTIONS",
+    "AccuracyStudy",
+    "SchemeResult",
+    "WeightDistribution",
+    "run_accuracy_study",
+]

@@ -1,0 +1,11 @@
+"""The paper's primary contribution, exposed as a small public API.
+
+The heavy lifting lives in the substrates (:mod:`repro.quant`, :mod:`repro.layout`,
+:mod:`repro.dequant`, :mod:`repro.pipeline`, :mod:`repro.kernels`); this package re-exports
+the LiquidGEMM kernel and the convenience functions most downstream users want.
+"""
+
+from ..kernels.liquidgemm import LiquidGemmKernel
+from .api import GemmResult, compare_kernels, quantize_weights, w4a8_gemm
+
+__all__ = ["LiquidGemmKernel", "GemmResult", "compare_kernels", "quantize_weights", "w4a8_gemm"]

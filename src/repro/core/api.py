@@ -1,0 +1,88 @@
+"""Top-level convenience API for the LiquidGEMM reproduction.
+
+Most users need three things:
+
+* :func:`quantize_weights` — offline LiquidQuant quantization + dual-MMA packing of a weight
+  matrix, ready for deployment;
+* :func:`w4a8_gemm` — run a W4A8 GEMM through the LiquidGEMM kernel (numerically exact
+  integer path) and obtain both the output and a performance report for a chosen GPU;
+* :func:`compare_kernels` — the unified kernel benchmark of Section 7.3: the same GEMM shape
+  evaluated under every kernel in the registry.
+
+Everything here is a thin composition of the subpackages; power users should use
+:mod:`repro.kernels`, :mod:`repro.serving` and :mod:`repro.costmodel` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..costmodel.model import GemmShape
+from ..kernels.base import KernelReport, PreparedWeights
+from ..kernels.liquidgemm import LiquidGemmKernel
+from ..kernels.registry import default_comparison_set, get_kernel
+from ..quant.base import quantization_error
+
+__all__ = ["quantize_weights", "w4a8_gemm", "compare_kernels", "GemmResult"]
+
+
+@dataclass
+class GemmResult:
+    """Output of :func:`w4a8_gemm`: values, error vs FP reference, and a performance report."""
+
+    output: np.ndarray
+    reference: np.ndarray
+    error: Dict[str, float]
+    report: KernelReport
+
+
+def quantize_weights(w: np.ndarray, group_size: int = 64) -> PreparedWeights:
+    """Quantize an ``(N, K)`` FP weight matrix with LiquidQuant and pack it for deployment."""
+    return LiquidGemmKernel(group_size=group_size).prepare_weights(w)
+
+
+def w4a8_gemm(
+    x: np.ndarray,
+    weights_or_matrix,
+    device: str = "H800",
+    group_size: int = 64,
+) -> GemmResult:
+    """Run ``Y = X @ W^T`` through LiquidGEMM.
+
+    ``weights_or_matrix`` may be a raw FP weight matrix (quantized on the fly) or the
+    :class:`PreparedWeights` returned by :func:`quantize_weights`.
+    """
+    kernel = LiquidGemmKernel(group_size=group_size)
+    if isinstance(weights_or_matrix, PreparedWeights):
+        prepared = weights_or_matrix
+    else:
+        prepared = kernel.prepare_weights(np.asarray(weights_or_matrix))
+    x = np.asarray(x, dtype=np.float64)
+    output = kernel.run(x, prepared)
+    reference = kernel.reference(x, prepared.original)
+    shape = GemmShape(x.shape[0], prepared.original.shape[0], prepared.original.shape[1])
+    return GemmResult(
+        output=output,
+        reference=reference,
+        error=quantization_error(reference, output),
+        report=kernel.estimate(shape, device),
+    )
+
+
+def compare_kernels(
+    m: int,
+    n: int,
+    k: int,
+    device: str = "H800",
+    kernels: Optional[Iterable[str]] = None,
+) -> Dict[str, KernelReport]:
+    """Estimate the latency of one GEMM shape under each kernel (Figure 12's comparison)."""
+    shape = GemmShape(m, n, k)
+    if kernels is None:
+        kernel_objs = default_comparison_set()
+    else:
+        kernel_objs = {name: get_kernel(name) for name in kernels}
+    return {name: kernel.estimate(shape, device) for name, kernel in kernel_objs.items()}

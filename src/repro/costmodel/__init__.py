@@ -1,0 +1,33 @@
+"""Analytical cost model (Equations 3-6) and roofline analysis (Figure 1c)."""
+
+from .model import (
+    CostBreakdown,
+    GemmShape,
+    KernelCostParams,
+    PipelineMode,
+    alpha_budget,
+    gemm_cost,
+    transition_batch_size,
+)
+from .roofline import (
+    STANDARD_CONFIGS,
+    RooflineConfig,
+    RooflinePoint,
+    ridge_points,
+    roofline_curve,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "GemmShape",
+    "KernelCostParams",
+    "PipelineMode",
+    "alpha_budget",
+    "gemm_cost",
+    "transition_batch_size",
+    "STANDARD_CONFIGS",
+    "RooflineConfig",
+    "RooflinePoint",
+    "ridge_points",
+    "roofline_curve",
+]

@@ -1,0 +1,226 @@
+"""The paper's analytical GEMM cost model (Section 3.2, Equations 3-6).
+
+The model decomposes one main-loop iteration of a pipelined GEMM into
+
+* ``T_LD``   — weight-tile transfer from global memory (Equation 3),
+* ``T_DQ``   — dequantization on CUDA cores (the ``alpha``-dependent term of Equation 4),
+* ``T_MMA``  — matrix multiply-accumulate on Tensor Cores (Equation 4),
+
+and aggregates them over all output tiles at device level (Equation 6).  The way the three
+terms combine depends on the kernel's pipeline organisation, captured by
+:class:`PipelineMode`:
+
+* ``SERIAL_DEQUANT`` — Equation 6 as written: loading overlaps with compute, but dequant and
+  MMA execute back to back inside the compute stage (QServe, W4A16 and naive W4A8 kernels);
+* ``FULL_OVERLAP``   — loading, dequantization and MMA all overlap (the ideal LiquidGEMM ImFP
+  achieves): the iteration cost is the *maximum* of the three terms;
+* ``NO_OVERLAP``     — nothing overlaps (a strawman used by the ablation baseline).
+
+All throughputs come from :class:`repro.gpu.specs.GpuSpec`, so the same module reproduces the
+paper's §3.3 numbers (memory/compute transition batch sizes, the ``alpha <= 5.07`` budget)
+and feeds every kernel's latency estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..gpu.specs import GpuSpec, Precision
+
+__all__ = [
+    "PipelineMode",
+    "GemmShape",
+    "KernelCostParams",
+    "CostBreakdown",
+    "gemm_cost",
+    "transition_batch_size",
+    "alpha_budget",
+]
+
+
+class PipelineMode:
+    """How the load / dequant / MMA stages of one iteration combine in time."""
+
+    NO_OVERLAP = "no_overlap"
+    SERIAL_DEQUANT = "serial_dequant"
+    FULL_OVERLAP = "full_overlap"
+
+    ALL = (NO_OVERLAP, SERIAL_DEQUANT, FULL_OVERLAP)
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """A GEMM problem ``Y[M, N] = X[M, K] @ W[N, K]^T`` (the paper's layer shapes)."""
+
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self):
+        if self.m <= 0 or self.n <= 0 or self.k <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+
+    @property
+    def weight_elements(self) -> int:
+        return self.n * self.k
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.n * self.k
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+
+@dataclass(frozen=True)
+class KernelCostParams:
+    """Everything the cost model needs to know about one kernel implementation."""
+
+    name: str
+    weight_precision: str          # storage precision of W in GMEM (drives T_LD)
+    act_precision: str             # storage precision of X
+    mma_precision: str             # Tensor Core data type (drives T_MMA)
+    alpha: float = 0.0             # CUDA-core instructions per dequantized weight element
+    pipeline: str = PipelineMode.SERIAL_DEQUANT
+    tile_m: int = 128
+    tile_n: int = 128
+    tile_k: int = 64
+    #: Extra CUDA-core instructions per weight element for loads / address arithmetic
+    #: (e.g. the LDS.32 path of the conventional layout).
+    load_overhead_alpha: float = 0.0
+    #: Fraction of peak Tensor Core throughput the kernel sustains (ping-pong WGMMA kernels
+    #: approach 1.0; pre-Hopper mma.sync kernels without warp specialization sit lower).
+    tensor_efficiency: float = 1.0
+    #: Fraction of peak memory bandwidth the kernel's weight loads sustain.
+    bandwidth_efficiency: float = 0.85
+    #: Epilogue cost per output element in FP operations (first-level dequant, bias, store).
+    epilogue_ops_per_output: float = 2.0
+    #: Fixed per-kernel launch overhead in seconds (dominates tiny problems).
+    launch_overhead_s: float = 3.0e-6
+
+    def __post_init__(self):
+        if self.pipeline not in PipelineMode.ALL:
+            raise ValueError(f"unknown pipeline mode {self.pipeline!r}")
+        if not 0 < self.tensor_efficiency <= 1.0:
+            raise ValueError("tensor_efficiency must be in (0, 1]")
+        if not 0 < self.bandwidth_efficiency <= 1.0:
+            raise ValueError("bandwidth_efficiency must be in (0, 1]")
+        if self.alpha < 0 or self.load_overhead_alpha < 0:
+            raise ValueError("alpha terms must be non-negative")
+
+
+@dataclass
+class CostBreakdown:
+    """Device-level time decomposition of one GEMM (Equation 6)."""
+
+    t_load: float
+    t_dequant: float
+    t_mma: float
+    t_epilogue: float
+    t_launch: float
+    total: float
+    limited_by: str
+    m_tiles: int
+    effective_m: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "t_load": self.t_load,
+            "t_dequant": self.t_dequant,
+            "t_mma": self.t_mma,
+            "t_epilogue": self.t_epilogue,
+            "t_launch": self.t_launch,
+            "total": self.total,
+            "m_tiles": float(self.m_tiles),
+            "effective_m": float(self.effective_m),
+        }
+
+
+def _weight_load_throughput(gpu: GpuSpec, params: KernelCostParams) -> float:
+    """Device-level weight-load throughput in elements/s (the paper's Phi^x_BD)."""
+    bytes_per_element = Precision.bytes(params.weight_precision)
+    return gpu.memory_bandwidth * params.bandwidth_efficiency / bytes_per_element
+
+
+def gemm_cost(shape: GemmShape, gpu: GpuSpec, params: KernelCostParams) -> CostBreakdown:
+    """Evaluate Equation 6 for one GEMM under a kernel configuration.
+
+    The activation-load term of Equation 3 is dropped as in the paper (activations are small
+    and reused from fast memory); the epilogue term is retained because it is what converts
+    INT32 accumulators back to FP16 and applies first-level scales, and it matters for very
+    small K.
+    """
+    m_tiles = math.ceil(shape.m / params.tile_m)
+    effective_m = min(params.tile_m, shape.m)
+    nk = shape.weight_elements
+
+    phi_bd = _weight_load_throughput(gpu, params)
+    phi_cuda = gpu.cuda_core_int32_tops
+    phi_tc = gpu.tensor_core_throughput(params.mma_precision) * params.tensor_efficiency
+
+    t_load = nk / phi_bd
+    alpha_total = params.alpha + params.load_overhead_alpha
+    t_dequant = alpha_total * nk / phi_cuda
+    t_mma = effective_m * 2.0 * nk / phi_tc
+
+    if params.pipeline == PipelineMode.FULL_OVERLAP:
+        per_m_tile = max(t_load, t_dequant, t_mma)
+        limiter = {t_load: "memory", t_dequant: "cuda_cores", t_mma: "tensor_cores"}[per_m_tile]
+    elif params.pipeline == PipelineMode.SERIAL_DEQUANT:
+        compute = t_dequant + t_mma
+        per_m_tile = max(t_load, compute)
+        limiter = "memory" if t_load >= compute else (
+            "cuda_cores" if t_dequant > t_mma else "tensor_cores"
+        )
+    else:  # NO_OVERLAP
+        per_m_tile = t_load + t_dequant + t_mma
+        limiter = "serialized"
+
+    t_epilogue = params.epilogue_ops_per_output * shape.m * shape.n / gpu.cuda_core_fp32_tops
+    total = m_tiles * per_m_tile + t_epilogue + params.launch_overhead_s
+
+    return CostBreakdown(
+        t_load=m_tiles * t_load,
+        t_dequant=m_tiles * t_dequant,
+        t_mma=m_tiles * t_mma,
+        t_epilogue=t_epilogue,
+        t_launch=params.launch_overhead_s,
+        total=total,
+        limited_by=limiter,
+        m_tiles=m_tiles,
+        effective_m=effective_m,
+    )
+
+
+def transition_batch_size(gpu: GpuSpec, weight_precision: str, mma_precision: str,
+                          bandwidth_efficiency: float = 1.0,
+                          tensor_efficiency: float = 1.0) -> float:
+    """Batch size where ``T_LD == T_MMA`` — the memory-/compute-bound transition (§3.3).
+
+    With Figure 1's metrics this evaluates to ≈150 for W4A8 and ≈300 for W8A8 on H100, and
+    ≈156 for W8A8 on A100, matching the paper.
+    """
+    bytes_per_element = Precision.bytes(weight_precision)
+    phi_bd = gpu.memory_bandwidth * bandwidth_efficiency / bytes_per_element
+    phi_tc = gpu.tensor_core_throughput(mma_precision) * tensor_efficiency
+    return phi_tc / (2.0 * phi_bd)
+
+
+def alpha_budget(gpu: GpuSpec, weight_precision: str, mma_precision: str,
+                 batch_size: Optional[int] = None) -> float:
+    """Maximum dequantization instructions per element that can be hidden (§3.3).
+
+    Without ``batch_size`` the budget is the memory-bound condition ``T_DQ <= T_LD``
+    (≈5.07 on H100 for 4-bit weights); with ``batch_size`` it is the compute-bound condition
+    ``T_DQ <= T_MMA`` (≈5.05 at the transition batch of 150).
+    """
+    phi_cuda = gpu.cuda_core_int32_tops
+    if batch_size is None:
+        bytes_per_element = Precision.bytes(weight_precision)
+        phi_bd = gpu.memory_bandwidth / bytes_per_element
+        return phi_cuda / phi_bd
+    phi_tc = gpu.tensor_core_throughput(mma_precision)
+    return 2.0 * batch_size * phi_cuda / phi_tc

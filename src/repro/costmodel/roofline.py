@@ -1,0 +1,95 @@
+"""Roofline analysis for quantized GEMM (Figure 1c of the paper).
+
+For a decode-time GEMM ``Y[M, N] = X[M, K] W[N, K]^T`` with the weight matrix streamed from
+HBM, the arithmetic intensity *per weight element* is ``2 * M`` operations per element (every
+loaded weight participates in ``M`` multiply-accumulates).  The attainable throughput is then
+
+    min(peak_tensor_ops, intensity * bytes_per_element^-1 * memory_bandwidth)
+
+Each precision configuration (FP16, W8A8, FP8, W4A16, W4A8, W4A4) differs in which Tensor
+Core roof applies and how many bytes each weight element costs, which is exactly what Figure
+1c plots.  The helpers below generate those curves and the per-configuration ridge points
+(the batch size at which the configuration turns compute-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..gpu.specs import GpuSpec, Precision
+from .model import transition_batch_size
+
+__all__ = ["RooflineConfig", "RooflinePoint", "STANDARD_CONFIGS", "roofline_curve", "ridge_points"]
+
+
+@dataclass(frozen=True)
+class RooflineConfig:
+    """One precision configuration on the roofline plot."""
+
+    name: str
+    weight_precision: str
+    mma_precision: str
+
+    @property
+    def bytes_per_weight(self) -> float:
+        return Precision.bytes(self.weight_precision)
+
+
+#: The configurations Figure 1c compares.
+STANDARD_CONFIGS: Dict[str, RooflineConfig] = {
+    "fp16": RooflineConfig("fp16", Precision.FP16, Precision.FP16),
+    "w8a8": RooflineConfig("w8a8", Precision.INT8, Precision.INT8),
+    "fp8": RooflineConfig("fp8", Precision.FP8, Precision.FP8),
+    "w4a16": RooflineConfig("w4a16", Precision.INT4, Precision.FP16),
+    "w4a8": RooflineConfig("w4a8", Precision.INT4, Precision.INT8),
+    "w4a4": RooflineConfig("w4a4", Precision.INT4, Precision.INT4),
+}
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One point of a roofline curve."""
+
+    batch_size: float
+    arithmetic_intensity: float   # OPs per weight element
+    attainable_tops: float        # attainable throughput, OPs/s
+    bound: str                    # "memory" or "compute"
+
+
+def roofline_curve(
+    gpu: GpuSpec,
+    config: RooflineConfig,
+    batch_sizes: Sequence[int],
+) -> List[RooflinePoint]:
+    """Attainable throughput of ``config`` on ``gpu`` for each batch size (M)."""
+    if not gpu.supports_precision(config.mma_precision):
+        raise ValueError(f"{gpu.name} cannot run MMA at {config.mma_precision}")
+    peak = gpu.tensor_core_throughput(config.mma_precision)
+    points: List[RooflinePoint] = []
+    for m in batch_sizes:
+        if m <= 0:
+            raise ValueError("batch sizes must be positive")
+        intensity = 2.0 * m  # OPs per weight element
+        memory_roof = intensity * gpu.memory_bandwidth / config.bytes_per_weight
+        attainable = min(peak, memory_roof)
+        points.append(
+            RooflinePoint(
+                batch_size=float(m),
+                arithmetic_intensity=intensity,
+                attainable_tops=attainable,
+                bound="compute" if memory_roof >= peak else "memory",
+            )
+        )
+    return points
+
+
+def ridge_points(gpu: GpuSpec, configs: Optional[Dict[str, RooflineConfig]] = None) -> Dict[str, float]:
+    """Batch size at which each configuration becomes compute-bound (the roofline ridge)."""
+    configs = configs or {
+        name: cfg for name, cfg in STANDARD_CONFIGS.items() if gpu.supports_precision(cfg.mma_precision)
+    }
+    out: Dict[str, float] = {}
+    for name, cfg in configs.items():
+        out[name] = transition_batch_size(gpu, cfg.weight_precision, cfg.mma_precision)
+    return out

@@ -1,0 +1,33 @@
+"""Register-level dequantization routines (emulated PTX) with instruction accounting."""
+
+from .lqq import (
+    LQQ_ELEMENTS_PER_REGISTER,
+    LQQ_INSTRUCTIONS_PER_REGISTER,
+    lqq_alpha,
+    lqq_dequant_register,
+    lqq_dequant_registers,
+    registers_to_int8,
+)
+from .qserve import (
+    QSERVE_ELEMENTS_PER_REGISTER,
+    measure_qserve_instructions,
+    qserve_alpha,
+    qserve_dequant_register,
+)
+from .w4a16 import W4A16_ELEMENTS_PER_REGISTER, w4a16_alpha, w4a16_dequant_register
+
+__all__ = [
+    "LQQ_ELEMENTS_PER_REGISTER",
+    "LQQ_INSTRUCTIONS_PER_REGISTER",
+    "lqq_alpha",
+    "lqq_dequant_register",
+    "lqq_dequant_registers",
+    "registers_to_int8",
+    "QSERVE_ELEMENTS_PER_REGISTER",
+    "measure_qserve_instructions",
+    "qserve_alpha",
+    "qserve_dequant_register",
+    "W4A16_ELEMENTS_PER_REGISTER",
+    "w4a16_alpha",
+    "w4a16_dequant_register",
+]

@@ -1,0 +1,138 @@
+"""Register-level LiquidQuant dequantization (Section 5.3, Figure 8).
+
+Input: packed 32-bit registers, each holding eight UINT4 codes in the interleaved nibble
+order produced by :func:`repro.layout.packing.pack_u4_interleaved` / the dual-MMA layout.
+Output: two packed byte registers per input register, each holding four INT8 values (in
+two's-complement byte form) ready for the INT8 WGMMA.
+
+Instruction sequence per input register (7 instructions for 8 elements, matching the paper's
+"eight elements are dequantized with only seven instructions"):
+
+====  =============================  =================================================
+ #    instruction                    effect
+====  =============================  =================================================
+ 1    ``and.b32   r_lo, r, 0x0F0F0F0F``   extract elements w0..w3 into separate bytes
+ 2    ``and.b32   r_hi, r, 0xF0F0F0F0``   isolate elements w4..w7
+ 3    ``shr.b32   r_hi, r_hi, 4``          move them into byte position
+ 4    ``imad.u32  r_lo, r_lo, s, a4``      per-byte ``q*s + a`` (no cross-byte carries)
+ 5    ``xor.b32   r_lo, r_lo, 0x80808080`` flip MSBs -> two's-complement INT8
+ 6    ``imad.u32  r_hi, r_hi, s, a4``
+ 7    ``xor.b32   r_hi, r_hi, 0x80808080``
+====  =============================  =================================================
+
+The absence of cross-byte carries in step 4 is exactly the overflow-freedom property proven
+in Section 4 (and re-checked at run time by :func:`repro.quant.liquidquant.lqq_dequantize_int8`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..isa import (
+    InstructionStats,
+    and_b32,
+    broadcast_byte,
+    imad_u32,
+    shr_b32,
+    to_u32,
+    xor_b32,
+)
+from ..layout.packing import unpack_u32_to_u8
+
+__all__ = [
+    "LQQ_INSTRUCTIONS_PER_REGISTER",
+    "LQQ_ELEMENTS_PER_REGISTER",
+    "lqq_alpha",
+    "lqq_dequant_register",
+    "lqq_dequant_registers",
+    "registers_to_int8",
+]
+
+LQQ_INSTRUCTIONS_PER_REGISTER = 7
+LQQ_ELEMENTS_PER_REGISTER = 8
+
+_LOW_NIBBLE_MASK = 0x0F0F0F0F
+_HIGH_NIBBLE_MASK = 0xF0F0F0F0
+_SIGN_FLIP = 0x80808080
+
+
+def lqq_alpha() -> float:
+    """Instructions per dequantized element for the LQQ path (the cost-model alpha)."""
+    return LQQ_INSTRUCTIONS_PER_REGISTER / LQQ_ELEMENTS_PER_REGISTER
+
+
+def lqq_dequant_register(
+    register,
+    scale_u8: int,
+    offset_a: int,
+    stats: Optional[InstructionStats] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Dequantize one packed register (or an array of registers sharing scale/offset).
+
+    Returns ``(low, high)`` packed byte registers holding elements (w0..w3) and (w4..w7)
+    respectively, each byte being the INT8 result in two's-complement form.
+    """
+    if not 1 <= int(scale_u8) <= 16:
+        raise ValueError("second-level scale must lie in [1, 16]")
+    if not 0 <= int(offset_a) <= 255:
+        raise ValueError("offset a must fit in UINT8")
+    reg = to_u32(register)
+    a_packed = broadcast_byte(int(offset_a))
+
+    r_lo = and_b32(reg, _LOW_NIBBLE_MASK, stats)
+    r_hi = and_b32(reg, _HIGH_NIBBLE_MASK, stats)
+    r_hi = shr_b32(r_hi, 4, stats)
+
+    r_lo = imad_u32(r_lo, int(scale_u8), a_packed, stats)
+    r_lo = xor_b32(r_lo, _SIGN_FLIP, stats)
+    r_hi = imad_u32(r_hi, int(scale_u8), a_packed, stats)
+    r_hi = xor_b32(r_hi, _SIGN_FLIP, stats)
+    return r_lo, r_hi
+
+
+def lqq_dequant_registers(
+    registers: np.ndarray,
+    scale_u8: np.ndarray,
+    offset_a: np.ndarray,
+    stats: Optional[InstructionStats] = None,
+) -> np.ndarray:
+    """Dequantize an array of packed registers with per-register scale/offset.
+
+    ``registers``, ``scale_u8`` and ``offset_a`` must be broadcast-compatible; the result has
+    shape ``registers.shape + (2,)`` holding the (low, high) output byte registers.
+
+    Instruction counting note: in SIMT execution, registers processed by *different threads in
+    the same instruction* cost one issue each per thread; this helper conservatively counts one
+    instruction sequence per distinct (scale, offset) group it loops over, mirroring a per-
+    thread trace.  Use :func:`lqq_alpha` for the analytic per-element cost.
+    """
+    registers = to_u32(registers)
+    scale_u8 = np.broadcast_to(np.asarray(scale_u8), registers.shape)
+    offset_a = np.broadcast_to(np.asarray(offset_a), registers.shape)
+    out = np.zeros(registers.shape + (2,), dtype=np.uint32)
+
+    # Vectorize over registers sharing (scale, offset): each unique pair is one emulated
+    # per-thread instruction sequence applied to all its registers at once.
+    pairs = np.stack([scale_u8.reshape(-1), offset_a.reshape(-1)], axis=1)
+    flat_regs = registers.reshape(-1)
+    flat_out = out.reshape(-1, 2)
+    unique_pairs = np.unique(pairs, axis=0)
+    for s, a in unique_pairs:
+        mask = (pairs[:, 0] == s) & (pairs[:, 1] == a)
+        lo, hi = lqq_dequant_register(flat_regs[mask], int(s), int(a), stats)
+        flat_out[mask, 0] = lo
+        flat_out[mask, 1] = hi
+    return out
+
+
+def registers_to_int8(byte_registers: np.ndarray) -> np.ndarray:
+    """Reinterpret packed byte registers as INT8 values, preserving element order.
+
+    ``byte_registers`` of shape ``(...,)`` yields an array of shape ``(..., 4)`` where byte 0
+    (the least significant) comes first — i.e. element order w0, w1, w2, w3 for a low register
+    and w4, w5, w6, w7 for a high register.
+    """
+    return unpack_u32_to_u8(byte_registers).view(np.int8)

@@ -1,0 +1,89 @@
+"""Register-level QServe-style dequantization ("subtraction after multiplication").
+
+QServe quantizes INT8 weights asymmetrically to UINT4 and dequantizes as
+``Q_i8 = Q_u4 * s - s * z`` to avoid multiplying negative values.  The multiplication fits in
+a byte, but the subtraction of the packed ``s*z`` term wraps within bytes, so QServe has to
+perform it with the per-byte ``vsub4`` operation.  Hopper has no SIMD-video ALU, so ``vsub4``
+is lowered by the compiler into per-byte extract / subtract / insert sequences — the dozen
+low-level operations the paper profiles at 21% of warp stalls (Section 3.2).
+
+The emulation below performs exactly that lowering through :mod:`repro.isa`, so both the
+numerical result (bit-exact INT8 bytes) and the instruction count (the cost-model ``alpha``)
+come from the same code path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..isa import (
+    InstructionStats,
+    and_b32,
+    broadcast_byte,
+    imad_u32,
+    mul_lo_u32,
+    shr_b32,
+    to_u32,
+    vsub4_lowered,
+)
+
+__all__ = [
+    "QSERVE_ELEMENTS_PER_REGISTER",
+    "qserve_alpha",
+    "qserve_dequant_register",
+    "measure_qserve_instructions",
+]
+
+QSERVE_ELEMENTS_PER_REGISTER = 8
+
+_LOW_NIBBLE_MASK = 0x0F0F0F0F
+_HIGH_NIBBLE_MASK = 0xF0F0F0F0
+
+
+def qserve_dequant_register(
+    register,
+    scale_i8: int,
+    zero_u4: int,
+    stats: Optional[InstructionStats] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Dequantize one packed register of eight UINT4 codes with the QServe strategy.
+
+    Returns ``(low, high)`` packed byte registers whose bytes are the INT8 results in
+    two's-complement form (byte-wise wraparound of the subtraction is exactly what makes the
+    result correct — and what forces the expensive ``vsub4`` lowering).
+    """
+    if not 1 <= int(scale_i8) <= 255:
+        raise ValueError("scale must be a positive byte")
+    if not 0 <= int(zero_u4) <= 15:
+        raise ValueError("zero point must lie in [0, 15]")
+    reg = to_u32(register)
+    zs_packed = broadcast_byte((int(scale_i8) * int(zero_u4)) & 0xFF)
+
+    # Unpack eight nibbles into two byte registers (same 3 instructions as the LQQ path).
+    r_lo = and_b32(reg, _LOW_NIBBLE_MASK, stats)
+    r_hi = and_b32(reg, _HIGH_NIBBLE_MASK, stats)
+    r_hi = shr_b32(r_hi, 4, stats)
+
+    # Multiplication: per-byte q * s fits in UINT8 (q <= 15, s <= 16), one IMAD per register.
+    r_lo = imad_u32(r_lo, int(scale_i8), 0, stats)
+    r_hi = imad_u32(r_hi, int(scale_i8), 0, stats)
+
+    # Subtraction after multiplication: per-byte q*s - s*z needs byte-isolated arithmetic,
+    # emulated with the lowered vsub4 (16 scalar instructions per register on Hopper).
+    r_lo = vsub4_lowered(r_lo, zs_packed, stats)
+    r_hi = vsub4_lowered(r_hi, zs_packed, stats)
+    return r_lo, r_hi
+
+
+def measure_qserve_instructions() -> int:
+    """Count the CUDA-core instructions QServe's path issues for one packed register."""
+    stats = InstructionStats()
+    qserve_dequant_register(np.uint32(0), scale_i8=1, zero_u4=0, stats=stats)
+    return stats.total_instructions
+
+
+def qserve_alpha() -> float:
+    """Instructions per dequantized element for the QServe path (cost-model alpha)."""
+    return measure_qserve_instructions() / QSERVE_ELEMENTS_PER_REGISTER

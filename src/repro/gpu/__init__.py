@@ -1,0 +1,36 @@
+"""Simulated GPU hardware substrate: specs, memory hierarchy, device/occupancy model."""
+
+from .specs import A100, H100, H800, GpuSpec, Precision, get_gpu, list_gpus
+from .memory import (
+    GlobalMemory,
+    MemoryRegion,
+    OutOfMemoryError,
+    RegisterFile,
+    SharedMemory,
+    TrafficCounter,
+    bytes_for,
+    smem_bank_conflicts,
+)
+from .device import Device, OccupancyResult, ThreadBlockConfig, WarpGroupRole
+
+__all__ = [
+    "A100",
+    "H100",
+    "H800",
+    "GpuSpec",
+    "Precision",
+    "get_gpu",
+    "list_gpus",
+    "GlobalMemory",
+    "MemoryRegion",
+    "OutOfMemoryError",
+    "RegisterFile",
+    "SharedMemory",
+    "TrafficCounter",
+    "bytes_for",
+    "smem_bank_conflicts",
+    "Device",
+    "OccupancyResult",
+    "ThreadBlockConfig",
+    "WarpGroupRole",
+]

@@ -1,0 +1,177 @@
+"""Streaming-multiprocessor / warp-group / occupancy model.
+
+The cost model in the paper (Equation 6) folds the whole device into ``S * L`` concurrent
+thread blocks, where ``S`` is the SM count and ``L`` the number of blocks resident per SM.
+The pipeline simulator additionally needs to know how a thread block is organized into warp
+groups (Hopper WGMMA executes per warp group of 4 warps / 128 threads) and what shared-memory
+budget limits the tile size.
+
+This module ties :class:`~repro.gpu.specs.GpuSpec` to those derived quantities and provides a
+small occupancy calculator used by the kernels to pick ``L``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .memory import GlobalMemory, OutOfMemoryError, RegisterFile, SharedMemory, bytes_for
+from .specs import GpuSpec, Precision, get_gpu
+
+__all__ = [
+    "WarpGroupRole",
+    "ThreadBlockConfig",
+    "OccupancyResult",
+    "Device",
+]
+
+
+class WarpGroupRole:
+    """Roles a warp group can take in a warp-specialized kernel (Section 5.1)."""
+
+    LOAD = "load"
+    DEQUANT = "dequant"
+    MMA = "mma"
+    COMPUTE = "compute"  # unified dequant+MMA warp group (ImFP)
+
+    ALL = (LOAD, DEQUANT, MMA, COMPUTE)
+
+
+@dataclass(frozen=True)
+class ThreadBlockConfig:
+    """Static description of a thread block used by a GEMM kernel.
+
+    ``warp_group_roles`` lists the role of each warp group in the block; e.g. the paper's
+    LiquidGEMM uses ``("load", "compute", "compute")`` — one Load WG and two Compute WGs.
+    """
+
+    tile_m: int
+    tile_n: int
+    tile_k: int
+    warp_group_roles: Tuple[str, ...]
+    smem_stage_count: int = 2  # double buffering by default
+    extra_smem_bytes: int = 0
+
+    def __post_init__(self):
+        if self.tile_m <= 0 or self.tile_n <= 0 or self.tile_k <= 0:
+            raise ValueError("tile dimensions must be positive")
+        if not self.warp_group_roles:
+            raise ValueError("a thread block needs at least one warp group")
+        for role in self.warp_group_roles:
+            if role not in WarpGroupRole.ALL:
+                raise ValueError(f"unknown warp group role {role!r}")
+        if self.smem_stage_count < 1:
+            raise ValueError("smem_stage_count must be >= 1")
+
+    @property
+    def num_warp_groups(self) -> int:
+        return len(self.warp_group_roles)
+
+    def num_threads(self, spec: GpuSpec) -> int:
+        return self.num_warp_groups * spec.threads_per_warp_group
+
+    def compute_warp_groups(self) -> int:
+        """Number of warp groups that issue MMA (roles ``mma`` or ``compute``)."""
+        return sum(1 for r in self.warp_group_roles if r in (WarpGroupRole.MMA, WarpGroupRole.COMPUTE))
+
+    def smem_bytes(self, weight_precision: str, act_precision: str) -> int:
+        """Shared-memory footprint of the pipelined tile buffers.
+
+        Weights (``tile_n x tile_k``) and activations (``tile_m x tile_k``) are both staged
+        ``smem_stage_count`` times for the asynchronous pipeline.
+        """
+        weight_tile = bytes_for(self.tile_n * self.tile_k, weight_precision)
+        act_tile = bytes_for(self.tile_m * self.tile_k, act_precision)
+        return self.smem_stage_count * (weight_tile + act_tile) + self.extra_smem_bytes
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one kernel configuration."""
+
+    blocks_per_sm: int
+    limited_by: str
+    smem_bytes_per_block: int
+    threads_per_block: int
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.blocks_per_sm >= 1
+
+
+class Device:
+    """A simulated GPU device: spec + memory hierarchy + occupancy calculator."""
+
+    def __init__(self, spec_or_name="H800"):
+        if isinstance(spec_or_name, GpuSpec):
+            self.spec = spec_or_name
+        else:
+            self.spec = get_gpu(str(spec_or_name))
+        self.gmem = GlobalMemory(self.spec)
+        self.smem_prototype = SharedMemory(self.spec)
+        self.rf_prototype = RegisterFile(self.spec)
+
+    # ------------------------------------------------------------------ occupancy
+    def occupancy(
+        self,
+        block: ThreadBlockConfig,
+        weight_precision: str,
+        act_precision: str,
+        registers_per_thread: int = 168,
+        max_threads_per_sm: int = 2048,
+    ) -> OccupancyResult:
+        """How many copies of ``block`` fit on one SM, and which resource limits it.
+
+        Mirrors the CUDA occupancy calculation for the three block-level resources that
+        matter for warp-specialized GEMM kernels: shared memory, registers and thread slots.
+        """
+        smem_per_block = block.smem_bytes(weight_precision, act_precision)
+        threads_per_block = block.num_threads(self.spec)
+
+        limits: Dict[str, int] = {}
+        limits["smem"] = (
+            self.spec.smem_per_sm // smem_per_block if smem_per_block > 0 else self.spec.max_blocks_per_sm
+        )
+        regs_per_block = registers_per_thread * threads_per_block
+        limits["registers"] = (
+            self.spec.registers_per_sm // regs_per_block if regs_per_block > 0 else self.spec.max_blocks_per_sm
+        )
+        limits["threads"] = max_threads_per_sm // threads_per_block if threads_per_block > 0 else 0
+        limits["hardware"] = self.spec.max_blocks_per_sm
+
+        limiting_resource = min(limits, key=lambda k: limits[k])
+        blocks = limits[limiting_resource]
+        return OccupancyResult(
+            blocks_per_sm=blocks,
+            limited_by=limiting_resource,
+            smem_bytes_per_block=smem_per_block,
+            threads_per_block=threads_per_block,
+        )
+
+    # ------------------------------------------------------------------ throughput helpers
+    def block_level_bandwidth(self, blocks_per_sm: int) -> float:
+        """Effective GMEM bandwidth (bytes/s) available to one thread block."""
+        concurrent_blocks = max(1, blocks_per_sm) * self.spec.num_sms
+        return self.spec.memory_bandwidth / concurrent_blocks
+
+    def block_level_tensor_ops(self, precision: str, blocks_per_sm: int) -> float:
+        """Tensor-core OPs/s available to one thread block."""
+        concurrent_blocks = max(1, blocks_per_sm) * self.spec.num_sms
+        return self.spec.tensor_core_throughput(precision) / concurrent_blocks
+
+    def block_level_cuda_ops(self, blocks_per_sm: int) -> float:
+        """CUDA-core INT32 OPs/s available to one thread block."""
+        concurrent_blocks = max(1, blocks_per_sm) * self.spec.num_sms
+        return self.spec.cuda_core_int32_tops / concurrent_blocks
+
+    def concurrent_blocks(self, blocks_per_sm: int) -> int:
+        return max(1, blocks_per_sm) * self.spec.num_sms
+
+    # ------------------------------------------------------------------ misc
+    def weight_memory_feasible(self, weight_bytes: int, kv_bytes: int, act_bytes: int = 0) -> bool:
+        """True if weights + KV cache + activations fit in device memory."""
+        return weight_bytes + kv_bytes + act_bytes <= self.spec.memory_capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Device({self.spec.name})"

@@ -1,0 +1,53 @@
+"""Kernel registry: name -> kernel instance, matching the labels used in the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .ablation import ablation_kernels
+from .base import GemmKernel
+from .library import Fp16Kernel, Fp8Kernel, QServeW4A8Kernel, W4A16Kernel, W8A8Kernel
+from .liquidgemm import LiquidGemmKernel
+
+__all__ = ["available_kernels", "get_kernel", "default_comparison_set", "figure12_kernels"]
+
+
+def _build_registry() -> Dict[str, GemmKernel]:
+    registry: Dict[str, GemmKernel] = {
+        "fp16": Fp16Kernel(),
+        "w8a8": W8A8Kernel(),
+        "fp8": Fp8Kernel(),
+        "w4a16": W4A16Kernel(),
+        "qserve-w4a8": QServeW4A8Kernel(),
+        "liquidgemm": LiquidGemmKernel(),
+    }
+    for key, kernel in ablation_kernels().items():
+        registry[f"ablation-{key}"] = kernel
+    return registry
+
+
+def available_kernels() -> List[str]:
+    """Names of all registered kernels."""
+    return sorted(_build_registry())
+
+
+def get_kernel(name: str) -> GemmKernel:
+    """Instantiate a kernel by its registry name (case-insensitive)."""
+    registry = _build_registry()
+    key = name.lower()
+    if key not in registry:
+        raise KeyError(f"unknown kernel {name!r}; available: {sorted(registry)}")
+    return registry[key]
+
+
+def default_comparison_set() -> Dict[str, GemmKernel]:
+    """The kernels compared throughout the paper's evaluation (Figures 5, 10-12, Table 1)."""
+    return {
+        name: get_kernel(name)
+        for name in ("fp16", "w8a8", "fp8", "w4a16", "qserve-w4a8", "liquidgemm")
+    }
+
+
+def figure12_kernels() -> Dict[str, GemmKernel]:
+    """The kernel set of Figure 12 (FP16, W8A8, FP8, W4A16, QServe, LiquidGEMM)."""
+    return default_comparison_set()

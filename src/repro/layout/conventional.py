@@ -1,0 +1,136 @@
+"""Conventional 2-D shared-memory layout for 4-bit weights and why it underperforms.
+
+Section 5.2 / Figure 7a: with weights stored in the natural row-major 2-D layout, the two
+ways a Compute WG can bring its WGMMA fragment from SMEM to registers both have problems when
+elements are 4-bit:
+
+* ``ldmatrix`` moves 16 contiguous *bytes* per thread and scatters every 4-byte group to the
+  lane that owns it — assuming 1-byte elements.  With 4-bit elements the 4-byte groups contain
+  *eight* elements spanning two lanes' data, so the scatter delivers wrong elements
+  (:func:`ldmatrix_misrouting` quantifies how many land in the wrong lane).
+* ``LDS.32`` loads are correct but each 32-bit transaction contains only four useful 4-bit
+  values (16 of 32 bits), halving effective SMEM bandwidth and requiring four load
+  instructions plus address arithmetic per MMA per thread.
+
+The :class:`LoadAnalysis` produced here is consumed by the kernel cost models (address/load
+instruction pressure on CUDA cores) and compared against the dual-MMA packed layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..gpu.memory import smem_bank_conflicts
+from .fragment import (
+    FRAGMENT_COLS,
+    FRAGMENT_ROWS,
+    GROUP_WIDTH,
+    THREADS_PER_WARP,
+    WARPS_PER_WARP_GROUP,
+    thread_fragment_elements,
+)
+
+__all__ = [
+    "LoadAnalysis",
+    "conventional_address_nibbles",
+    "analyze_conventional_loads",
+    "ldmatrix_misrouting",
+]
+
+
+@dataclass(frozen=True)
+class LoadAnalysis:
+    """Per-thread, per-dual-MMA summary of an SMEM->RF load strategy."""
+
+    layout: str
+    instruction: str
+    loads_per_thread: int
+    bytes_loaded_per_thread: int
+    bytes_used_per_thread: int
+    address_ops_per_thread: int
+    max_bank_conflict_ways: int
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Fraction of loaded bytes actually consumed."""
+        if self.bytes_loaded_per_thread == 0:
+            return 0.0
+        return self.bytes_used_per_thread / self.bytes_loaded_per_thread
+
+    @property
+    def effective_load_cost(self) -> float:
+        """Serialized load transactions after bank-conflict replay."""
+        return self.loads_per_thread * max(1, self.max_bank_conflict_ways)
+
+
+def conventional_address_nibbles(row: int, col: int, tile_cols: int = FRAGMENT_COLS) -> int:
+    """Nibble address of element (row, col) in a row-major 2-D 4-bit tile."""
+    if not (0 <= row and 0 <= col < tile_cols):
+        raise ValueError("element outside the tile")
+    return row * tile_cols + col
+
+
+def analyze_conventional_loads(tile_cols: int = FRAGMENT_COLS, num_mmas: int = 2) -> LoadAnalysis:
+    """Analyze the LDS.32 strategy on the conventional 2-D layout for ``num_mmas`` MMAs.
+
+    Each group of four contiguous 4-bit elements (2 bytes) is fetched with one 32-bit load of
+    which half is wasted; addresses for the four groups are strided, so every load needs its
+    own address computation (one IMAD each).  Bank conflicts are evaluated on warp 0's lanes
+    issuing their first group load simultaneously.
+    """
+    groups_per_mma = 4
+    loads = groups_per_mma * num_mmas
+    bytes_loaded = 4 * loads
+    bytes_used = 2 * loads
+
+    # Simultaneous addresses of warp 0, group 0 (byte addresses of the 32-bit words).
+    addresses = []
+    for thread in range(THREADS_PER_WARP):
+        row, col = thread_fragment_elements(0, thread)[0]
+        nibble = conventional_address_nibbles(row, col, tile_cols)
+        addresses.append((nibble // 2) & ~0x3)  # aligned 32-bit word containing the group
+    conflicts = smem_bank_conflicts(addresses)
+
+    return LoadAnalysis(
+        layout="conventional-2d",
+        instruction="LDS.32",
+        loads_per_thread=loads,
+        bytes_loaded_per_thread=bytes_loaded,
+        bytes_used_per_thread=bytes_used,
+        address_ops_per_thread=loads,  # one address IMAD per strided load
+        max_bank_conflict_ways=conflicts,
+    )
+
+
+def ldmatrix_misrouting(tile_cols: int = FRAGMENT_COLS) -> Dict[str, float]:
+    """Quantify how badly ``ldmatrix`` scatters a 4-bit tile stored in the 2-D layout.
+
+    ``ldmatrix`` is specified for 1-byte elements: each lane receives the four consecutive
+    *bytes* starting at byte offset ``4 * lane`` of the 16-byte rows it loads.  When elements
+    are 4-bit, those four bytes hold eight elements — the lane's own four plus four belonging
+    to the next lane.  We replay that behaviour against the fragment ownership map and report
+    the fraction of elements delivered to the wrong lane.
+    """
+    wrong = 0
+    total = 0
+    for warp in range(WARPS_PER_WARP_GROUP):
+        for thread in range(THREADS_PER_WARP):
+            owned = thread_fragment_elements(warp, thread)
+            owned_set = set(owned)
+            row, col = owned[0]
+            # ldmatrix scatters 4-byte groups: the lane receives the 4 bytes starting at the
+            # 4-byte-aligned address of its first owned element.  With 4-bit elements those
+            # 4 bytes contain eight consecutive columns, only four of which belong to the lane.
+            start_col = (col // 8) * 8
+            delivered = [(row, start_col + i) for i in range(8) if start_col + i < tile_cols]
+            for element in delivered:
+                total += 1
+                if element not in owned_set:
+                    wrong += 1
+    return {
+        "fraction_misrouted": wrong / total if total else 0.0,
+        "elements_checked": float(total),
+    }

@@ -1,0 +1,87 @@
+"""Modeled WGMMA fragment ownership map (which thread needs which weight elements).
+
+Hopper's ``WGMMA.m64nNk32`` instruction consumes a 64x32 fragment of the (INT8) weight matrix
+per warp group, distributed across the 128 threads in a fixed hardware pattern.  The exact
+hardware pattern is irrelevant to the quantities this reproduction measures (instruction
+counts, bytes loaded, bank conflicts, bijectivity of the reordering); what matters is its
+*structure*, which Section 5.2 describes:
+
+* each of the 4 warps owns a 16x32 slice of the fragment;
+* each thread owns 16 elements arranged as four groups of four contiguous K-columns;
+* per MMA, a thread's four groups live at strided locations in the 2-D tile, so a 1-byte
+  element type can be gathered with one ``ldmatrix`` but a 4-bit type cannot.
+
+This module defines one concrete mapping with exactly that structure and exposes it to both
+the conventional-layout analysis and the dual-MMA packed layout.  All downstream code treats
+the mapping as opaque, so swapping in a different (e.g. bit-exact SASS-derived) mapping would
+not change any result other than the raw addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FRAGMENT_ROWS",
+    "FRAGMENT_COLS",
+    "THREADS_PER_WARP",
+    "WARPS_PER_WARP_GROUP",
+    "ELEMENTS_PER_THREAD",
+    "GROUPS_PER_THREAD",
+    "GROUP_WIDTH",
+    "thread_fragment_elements",
+    "fragment_ownership_map",
+]
+
+FRAGMENT_ROWS = 64      # N-dimension rows consumed by one WGMMA
+FRAGMENT_COLS = 32      # K-dimension columns consumed by one WGMMA (INT8 => k32)
+THREADS_PER_WARP = 32
+WARPS_PER_WARP_GROUP = 4
+ELEMENTS_PER_THREAD = 16
+GROUPS_PER_THREAD = 4
+GROUP_WIDTH = 4         # contiguous K columns per group
+
+
+def thread_fragment_elements(warp: int, thread: int) -> List[Tuple[int, int]]:
+    """Return the 16 (row, col) weight elements owned by ``thread`` of ``warp`` for one MMA.
+
+    The mapping follows the structure of the WGMMA operand layout: warp ``w`` owns rows
+    ``[16w, 16w+16)``; thread ``t`` owns rows ``16w + t//4`` and ``16w + t//4 + 8`` and, in
+    each of those rows, two groups of four contiguous columns starting at ``4*(t%4)`` and
+    ``16 + 4*(t%4)``.  The four threads of a quad therefore interleave their 4-element groups
+    within each 16-column half, which is what breaks ``ldmatrix``'s 4-byte scatter granularity
+    once elements shrink to 4 bits.
+    """
+    if not 0 <= warp < WARPS_PER_WARP_GROUP:
+        raise ValueError("warp must be in [0, 4)")
+    if not 0 <= thread < THREADS_PER_WARP:
+        raise ValueError("thread must be in [0, 32)")
+    base_row = 16 * warp + thread // 4
+    base_col = 4 * (thread % 4)
+    elements: List[Tuple[int, int]] = []
+    for row in (base_row, base_row + 8):
+        for group_start in (base_col, 16 + base_col):
+            for offset in range(GROUP_WIDTH):
+                elements.append((row, group_start + offset))
+    return elements
+
+
+def fragment_ownership_map() -> np.ndarray:
+    """Return a (64, 32) int array mapping each fragment element to its owning lane id.
+
+    Lane id is ``warp * 32 + thread``.  Used by tests to prove the mapping is a partition:
+    every element owned exactly once.
+    """
+    owner = -np.ones((FRAGMENT_ROWS, FRAGMENT_COLS), dtype=np.int32)
+    for warp in range(WARPS_PER_WARP_GROUP):
+        for thread in range(THREADS_PER_WARP):
+            for row, col in thread_fragment_elements(warp, thread):
+                if owner[row, col] != -1:
+                    raise AssertionError("fragment element owned by two threads")
+                owner[row, col] = warp * THREADS_PER_WARP + thread
+    if (owner < 0).any():
+        raise AssertionError("fragment element owned by no thread")
+    return owner

@@ -1,0 +1,24 @@
+"""Warp-group pipeline simulation: serial baseline, ExCP, and the paper's ImFP."""
+
+from .timing import IterationTiming, WorkDecomposition, decompose_work, derive_iteration_timing
+from .simulator import (
+    PipelineKind,
+    PipelineResult,
+    simulate_excp,
+    simulate_imfp,
+    simulate_pipeline,
+    simulate_serial,
+)
+
+__all__ = [
+    "IterationTiming",
+    "WorkDecomposition",
+    "decompose_work",
+    "derive_iteration_timing",
+    "PipelineKind",
+    "PipelineResult",
+    "simulate_excp",
+    "simulate_imfp",
+    "simulate_pipeline",
+    "simulate_serial",
+]

@@ -1,0 +1,240 @@
+"""Event-driven simulation of the warp-group pipelines compared in Section 5.1 / Figure 13.
+
+Three pipeline organisations are simulated for a sequence of grouped GEMM main loops:
+
+* **serial** — a conventional (non-warp-specialized) kernel: weight loading is double-buffered
+  against compute, but each iteration's dequantization and MMA run back to back on the same
+  warp group.  This is the "Baseline" / "LQQ"-only configuration of the ablation.
+* **ExCP** — explicit coarse-grained pipeline: three warp groups (Load / Dequant / MMA) pass
+  tiles through shared memory.  The Dequant WG pays an RF<->SMEM round trip and two software
+  synchronizations per iteration, which show up as pipeline bubbles whenever its stage time
+  exceeds the others.
+* **ImFP** — implicit fine-grained pipeline: one Load WG plus ``num_compute_wgs`` unified
+  Compute WGs that each dequantize *and* immediately MMA a fine-grained task.  Overlap of
+  dequantization and MMA happens *across* compute WGs contending for the CUDA-core and
+  Tensor-core resources; there is no round trip and no software synchronization.
+
+The simulator is deliberately small: warp groups and hardware units are modeled as FCFS
+resources with "next free time" clocks, iterations and fine-grained tasks are scheduled
+greedily in program order, and buffer back-pressure is modeled by bounding the number of
+in-flight loaded tiles.  That is enough to reproduce the scheduling phenomena the paper
+attributes to each design (ExCP regressing below the serial baseline at small batch, ImFP
+winning everywhere, grouped/MoE GEMMs benefiting the most).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .timing import IterationTiming
+
+__all__ = ["PipelineKind", "PipelineResult", "simulate_pipeline", "simulate_serial",
+           "simulate_excp", "simulate_imfp"]
+
+
+class PipelineKind:
+    SERIAL = "serial"
+    EXCP = "excp"
+    IMFP = "imfp"
+
+    ALL = (SERIAL, EXCP, IMFP)
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of simulating one thread block's work through a pipeline."""
+
+    kind: str
+    total_time: float
+    iterations: int
+    busy: Dict[str, float] = field(default_factory=dict)
+
+    def utilization(self, resource: str) -> float:
+        """Busy fraction of a hardware resource over the simulated span."""
+        if self.total_time <= 0:
+            return 0.0
+        return min(1.0, self.busy.get(resource, 0.0) / self.total_time)
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Idle fraction of the bottleneck resource — a direct measure of pipeline bubbles."""
+        if not self.busy or self.total_time <= 0:
+            return 0.0
+        return 1.0 - max(self.utilization(r) for r in self.busy)
+
+
+def _iteration_stream(timings: Sequence[IterationTiming], iterations_per_gemm: Sequence[int]):
+    """Yield (gemm_index, iteration_timing) over a grouped-GEMM main-loop sequence."""
+    if len(timings) != len(iterations_per_gemm):
+        raise ValueError("one IterationTiming per GEMM in the group is required")
+    for gemm_idx, (timing, iters) in enumerate(zip(timings, iterations_per_gemm)):
+        if iters <= 0:
+            raise ValueError("iterations per GEMM must be positive")
+        for _ in range(iters):
+            yield gemm_idx, timing
+
+
+def simulate_serial(
+    timings: Sequence[IterationTiming],
+    iterations_per_gemm: Sequence[int],
+    num_buffers: int = 2,
+    per_gemm_overhead: float = 0.0,
+) -> PipelineResult:
+    """Conventional kernel: double-buffered loads, dequant+MMA serial on one warp group.
+
+    ``per_gemm_overhead`` models the fill/drain + launch cost paid between consecutive GEMMs
+    when they are *not* fused into a persistent grouped kernel (relevant for MoE).
+    """
+    load_free = 0.0
+    compute_free = 0.0
+    load_end: List[float] = []
+    busy = {"tma": 0.0, "cuda": 0.0, "tensor": 0.0}
+    last_gemm = None
+    for idx, (gemm_idx, t) in enumerate(_iteration_stream(timings, iterations_per_gemm)):
+        if last_gemm is not None and gemm_idx != last_gemm:
+            barrier = compute_free + per_gemm_overhead
+            load_free = max(load_free, barrier)
+            compute_free = max(compute_free, barrier)
+        last_gemm = gemm_idx
+        buffer_ready = load_end[idx - num_buffers] if idx >= num_buffers else 0.0
+        start_load = max(load_free, buffer_ready)
+        end_load = start_load + t.t_load
+        load_free = end_load
+        load_end.append(end_load)
+        busy["tma"] += t.t_load
+
+        start_compute = max(compute_free, end_load)
+        end_compute = start_compute + t.t_dequant + t.t_mma
+        compute_free = end_compute
+        busy["cuda"] += t.t_dequant
+        busy["tensor"] += t.t_mma
+    total = max(load_free, compute_free)
+    return PipelineResult(PipelineKind.SERIAL, total, len(load_end), busy)
+
+
+def simulate_excp(
+    timings: Sequence[IterationTiming],
+    iterations_per_gemm: Sequence[int],
+    num_buffers: int = 2,
+    per_gemm_overhead: float = 0.0,
+) -> PipelineResult:
+    """Explicit coarse-grained pipeline: Load WG -> Dequant WG -> MMA WG through SMEM."""
+    load_free = 0.0
+    dequant_free = 0.0
+    mma_free = 0.0
+    load_end: List[float] = []
+    dequant_end: List[float] = []
+    busy = {"tma": 0.0, "cuda": 0.0, "tensor": 0.0, "smem": 0.0}
+    last_gemm = None
+    idx = 0
+    for gemm_idx, t in _iteration_stream(timings, iterations_per_gemm):
+        if last_gemm is not None and gemm_idx != last_gemm:
+            barrier = mma_free + per_gemm_overhead
+            load_free = max(load_free, barrier)
+            dequant_free = max(dequant_free, barrier)
+            mma_free = max(mma_free, barrier)
+        last_gemm = gemm_idx
+
+        raw_buffer_ready = dequant_end[idx - num_buffers] if idx >= num_buffers else 0.0
+        start_load = max(load_free, raw_buffer_ready)
+        end_load = start_load + t.t_load
+        load_free = end_load
+        load_end.append(end_load)
+        busy["tma"] += t.t_load
+
+        # Dequant WG: wait for the loaded tile, read it to RF, dequantize, write back to SMEM,
+        # then signal the MMA WG (one sync on each side of the hand-off).
+        start_dq = max(dequant_free, end_load + t.t_sync)
+        duration_dq = t.t_smem_roundtrip + t.t_dequant
+        end_dq = start_dq + duration_dq
+        dequant_free = end_dq
+        dequant_end.append(end_dq)
+        busy["cuda"] += t.t_dequant
+        busy["smem"] += t.t_smem_roundtrip
+
+        start_mma = max(mma_free, end_dq + t.t_sync)
+        end_mma = start_mma + t.t_mma
+        mma_free = end_mma
+        busy["tensor"] += t.t_mma
+        idx += 1
+    total = max(load_free, dequant_free, mma_free)
+    return PipelineResult(PipelineKind.EXCP, total, idx, busy)
+
+
+def simulate_imfp(
+    timings: Sequence[IterationTiming],
+    iterations_per_gemm: Sequence[int],
+    num_compute_wgs: int = 2,
+    tasks_per_iteration: int = 4,
+    num_buffers: int = 3,
+    per_gemm_overhead: float = 0.0,
+) -> PipelineResult:
+    """Implicit fine-grained pipeline: 1 Load WG + N Compute WGs pulling fine-grained tasks.
+
+    Compute WGs contend for the shared CUDA-core and Tensor-core units (FCFS); because a WG
+    that has finished dequantizing its task immediately issues its MMAs while another WG is
+    still dequantizing, the two units stay busy simultaneously without any software sync.
+    ``per_gemm_overhead`` is zero by default: the persistent grouped kernel of LiquidGEMM
+    flows from one GEMM of a group into the next without draining.
+    """
+    if num_compute_wgs < 1 or tasks_per_iteration < 1:
+        raise ValueError("need at least one compute WG and one task per iteration")
+    load_free = 0.0
+    cuda_free = 0.0
+    tensor_free = 0.0
+    wg_free = [0.0] * num_compute_wgs
+    load_end: List[float] = []
+    iter_done: List[float] = []
+    busy = {"tma": 0.0, "cuda": 0.0, "tensor": 0.0}
+    last_gemm = None
+    idx = 0
+    for gemm_idx, t in _iteration_stream(timings, iterations_per_gemm):
+        if last_gemm is not None and gemm_idx != last_gemm and per_gemm_overhead > 0:
+            barrier = max(wg_free) + per_gemm_overhead
+            load_free = max(load_free, barrier)
+            wg_free = [max(w, barrier) for w in wg_free]
+        last_gemm = gemm_idx
+
+        raw_buffer_ready = iter_done[idx - num_buffers] if idx >= num_buffers else 0.0
+        start_load = max(load_free, raw_buffer_ready)
+        end_load = start_load + t.t_load
+        load_free = end_load
+        load_end.append(end_load)
+        busy["tma"] += t.t_load
+
+        dq_task = t.t_dequant / tasks_per_iteration
+        mma_task = t.t_mma / tasks_per_iteration
+        task_end = 0.0
+        for _ in range(tasks_per_iteration):
+            wg = min(range(num_compute_wgs), key=lambda w: wg_free[w])
+            start_dq = max(wg_free[wg], cuda_free, end_load)
+            end_dq = start_dq + dq_task
+            cuda_free = end_dq
+            busy["cuda"] += dq_task
+            start_mma = max(end_dq, tensor_free)
+            end_mma = start_mma + mma_task
+            tensor_free = end_mma
+            busy["tensor"] += mma_task
+            wg_free[wg] = end_mma
+            task_end = max(task_end, end_mma)
+        iter_done.append(task_end)
+        idx += 1
+    total = max([load_free] + wg_free)
+    return PipelineResult(PipelineKind.IMFP, total, idx, busy)
+
+
+def simulate_pipeline(
+    kind: str,
+    timings: Sequence[IterationTiming],
+    iterations_per_gemm: Sequence[int],
+    **kwargs,
+) -> PipelineResult:
+    """Dispatch to the simulator for ``kind`` (one of :class:`PipelineKind`)."""
+    if kind == PipelineKind.SERIAL:
+        return simulate_serial(timings, iterations_per_gemm, **kwargs)
+    if kind == PipelineKind.EXCP:
+        return simulate_excp(timings, iterations_per_gemm, **kwargs)
+    if kind == PipelineKind.IMFP:
+        return simulate_imfp(timings, iterations_per_gemm, **kwargs)
+    raise ValueError(f"unknown pipeline kind {kind!r}")

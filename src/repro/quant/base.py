@@ -1,0 +1,235 @@
+"""Core integer-quantization primitives (Equation 1 / Equation 2 of the paper).
+
+This module implements the generic symmetric / asymmetric affine quantization that every
+scheme in the reproduction builds on: plain round-to-nearest (RTN) weight quantization,
+per-tensor / per-channel / per-group granularity, and the corresponding dequantization.
+
+The specialized schemes live in sibling modules:
+
+* :mod:`repro.quant.progressive` — QServe-style two-level W4A8 ("progressive") quantization;
+* :mod:`repro.quant.liquidquant` — the paper's LiquidQuant (LQQ) scheme;
+* :mod:`repro.quant.smoothquant` — SmoothQuant activation-outlier migration;
+* :mod:`repro.quant.activation` — per-token dynamic INT8 activation quantization;
+* :mod:`repro.quant.kvcache` — KV-cache quantization used by the serving system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "QuantGranularity",
+    "IntRange",
+    "QuantParams",
+    "int_range",
+    "quantize",
+    "dequantize",
+    "quantize_tensor",
+    "quantization_error",
+    "group_reshape",
+    "group_unreshape",
+]
+
+
+class QuantGranularity:
+    """Supported quantization granularities."""
+
+    PER_TENSOR = "per_tensor"
+    PER_CHANNEL = "per_channel"   # one scale per output channel (matrix row)
+    PER_GROUP = "per_group"       # one scale per contiguous group of `group_size` along K
+    PER_TOKEN = "per_token"       # one scale per activation row (token)
+
+    ALL = (PER_TENSOR, PER_CHANNEL, PER_GROUP, PER_TOKEN)
+
+
+@dataclass(frozen=True)
+class IntRange:
+    """Inclusive integer range of a quantized data type."""
+
+    lo: int
+    hi: int
+
+    @property
+    def span(self) -> int:
+        return self.hi - self.lo
+
+    def contains(self, values: np.ndarray) -> bool:
+        values = np.asarray(values)
+        if values.size == 0:
+            return True
+        return bool(values.min() >= self.lo and values.max() <= self.hi)
+
+    def clip(self, values: np.ndarray) -> np.ndarray:
+        return np.clip(values, self.lo, self.hi)
+
+
+def int_range(bits: int, signed: bool, protective: int = 0) -> IntRange:
+    """Integer range for an ``bits``-bit type, optionally shrunk by a protective margin.
+
+    ``protective`` narrows both ends of a signed range symmetrically; QServe and LiquidQuant
+    restrict INT8 to ``[-119, 119]`` (protective = 9 relative to ±128/127) to guarantee that
+    second-level scaling cannot overflow (Section 3.2 / Section 4).
+    """
+    if bits <= 0 or bits > 32:
+        raise ValueError("bits must be in (0, 32]")
+    if signed:
+        lo, hi = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+        if protective:
+            bound = min(abs(lo), hi) - protective + 1
+            lo, hi = -bound, bound
+    else:
+        lo, hi = 0, 2**bits - 1
+        if protective:
+            hi -= protective
+    if lo > hi:
+        raise ValueError("protective margin removed the whole range")
+    return IntRange(lo, hi)
+
+
+#: The protective signed 8-bit range used by QServe and LQQ first-level quantization.
+PROTECTIVE_INT8 = IntRange(-119, 119)
+INT8_RANGE = int_range(8, signed=True)
+UINT8_RANGE = int_range(8, signed=False)
+UINT4_RANGE = int_range(4, signed=False)
+INT4_RANGE = int_range(4, signed=True)
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Affine quantization parameters ``q = round(w / scale) + zero_point``.
+
+    ``scale`` and ``zero_point`` are NumPy arrays broadcastable against the tensor being
+    quantized, so the same container serves per-tensor, per-channel, per-group and per-token
+    schemes.
+    """
+
+    scale: np.ndarray
+    zero_point: np.ndarray
+    qrange: IntRange
+    granularity: str = QuantGranularity.PER_TENSOR
+    group_size: Optional[int] = None
+
+    def __post_init__(self):
+        if np.any(np.asarray(self.scale) <= 0):
+            raise ValueError("quantization scales must be strictly positive")
+        if self.granularity not in QuantGranularity.ALL:
+            raise ValueError(f"unknown granularity {self.granularity!r}")
+
+    @property
+    def is_symmetric(self) -> bool:
+        return bool(np.all(np.asarray(self.zero_point) == 0))
+
+
+def group_reshape(tensor: np.ndarray, group_size: int) -> np.ndarray:
+    """Reshape ``(N, K)`` to ``(N, K // group_size, group_size)`` for per-group statistics."""
+    if tensor.ndim != 2:
+        raise ValueError("per-group quantization expects a 2-D tensor")
+    n, k = tensor.shape
+    if group_size <= 0 or k % group_size != 0:
+        raise ValueError(f"K={k} must be divisible by group_size={group_size}")
+    return tensor.reshape(n, k // group_size, group_size)
+
+
+def group_unreshape(tensor: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`group_reshape`."""
+    if tensor.ndim != 3:
+        raise ValueError("expected a grouped 3-D tensor")
+    n, g, s = tensor.shape
+    return tensor.reshape(n, g * s)
+
+
+def _compute_scale_zero(
+    w: np.ndarray,
+    qrange: IntRange,
+    symmetric: bool,
+    axis,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Scale / zero-point statistics along ``axis`` (None = whole tensor)."""
+    w_min = np.minimum(w.min(axis=axis, keepdims=True), 0.0)
+    w_max = np.maximum(w.max(axis=axis, keepdims=True), 0.0)
+    eps = np.finfo(np.float64).tiny
+    if symmetric:
+        bound = min(abs(qrange.lo), qrange.hi)
+        amax = np.maximum(np.abs(w_min), np.abs(w_max))
+        scale = np.maximum(amax / bound, eps)
+        zero = np.zeros_like(scale)
+    else:
+        scale = np.maximum((w_max - w_min) / qrange.span, eps)
+        zero = np.round(qrange.lo - w_min / scale)
+        zero = np.clip(zero, qrange.lo, qrange.hi)
+    return scale, zero
+
+
+def quantize(w: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantize ``w`` with ``params`` (round-to-nearest-even via ``np.round``), clipped to range."""
+    q = np.round(np.asarray(w, dtype=np.float64) / params.scale) + params.zero_point
+    return params.qrange.clip(q).astype(np.int32)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Reconstruct floating-point values from integer codes (Equation 2)."""
+    return (np.asarray(q, dtype=np.float64) - params.zero_point) * params.scale
+
+
+def quantize_tensor(
+    w: np.ndarray,
+    bits: int = 8,
+    symmetric: bool = True,
+    granularity: str = QuantGranularity.PER_TENSOR,
+    group_size: Optional[int] = None,
+    protective: int = 0,
+    signed: Optional[bool] = None,
+) -> Tuple[np.ndarray, QuantParams]:
+    """One-shot RTN quantization of a 2-D tensor.
+
+    Returns ``(codes, params)`` where ``codes`` has the same shape as ``w`` (grouping is kept
+    internal to the parameters).  ``signed`` defaults to ``symmetric``; asymmetric quantization
+    uses an unsigned code range, matching common practice and the paper's UINT4 second level.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    if signed is None:
+        signed = symmetric
+    qrange = int_range(bits, signed=signed, protective=protective)
+
+    if granularity == QuantGranularity.PER_TENSOR:
+        scale, zero = _compute_scale_zero(w, qrange, symmetric, axis=None)
+    elif granularity in (QuantGranularity.PER_CHANNEL, QuantGranularity.PER_TOKEN):
+        if w.ndim != 2:
+            raise ValueError("per-channel/per-token quantization expects a 2-D tensor")
+        scale, zero = _compute_scale_zero(w, qrange, symmetric, axis=1)
+    elif granularity == QuantGranularity.PER_GROUP:
+        if group_size is None:
+            raise ValueError("group_size is required for per-group quantization")
+        grouped = group_reshape(w, group_size)
+        scale, zero = _compute_scale_zero(grouped, qrange, symmetric, axis=2)
+        params = QuantParams(scale=scale, zero_point=zero, qrange=qrange,
+                             granularity=granularity, group_size=group_size)
+        codes_grouped = quantize(grouped, params)
+        return group_unreshape(codes_grouped), params
+    else:
+        raise ValueError(f"unknown granularity {granularity!r}")
+
+    params = QuantParams(scale=scale, zero_point=zero, qrange=qrange,
+                         granularity=granularity, group_size=group_size)
+    return quantize(w, params), params
+
+
+def quantization_error(w: np.ndarray, w_hat: np.ndarray) -> dict:
+    """Error metrics between the original tensor and its quantize-dequantize reconstruction."""
+    w = np.asarray(w, dtype=np.float64)
+    w_hat = np.asarray(w_hat, dtype=np.float64)
+    if w.shape != w_hat.shape:
+        raise ValueError("shape mismatch between original and reconstruction")
+    err = w - w_hat
+    mse = float(np.mean(err**2))
+    signal = float(np.mean(w**2))
+    return {
+        "mse": mse,
+        "rmse": float(np.sqrt(mse)),
+        "max_abs": float(np.max(np.abs(err))) if err.size else 0.0,
+        "snr_db": float(10.0 * np.log10(signal / mse)) if mse > 0 and signal > 0 else float("inf"),
+        "relative_fro": float(np.linalg.norm(err) / max(np.linalg.norm(w), 1e-30)),
+    }

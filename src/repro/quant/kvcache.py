@@ -1,0 +1,129 @@
+"""KV-cache quantization schemes used by the serving systems compared in the paper.
+
+Table 1's systems differ not only in GEMM precision but also in how the KV cache is stored:
+
+* LiquidServe / TRT-W8A8: per-channel static INT8 (scales computed offline);
+* QServe: 4-bit KV cache (which is why it reaches larger batch sizes on some models);
+* TRT-FP16 / TRT-FP8 / TRT-W4A16: FP8 KV cache.
+
+The serving engine only needs bytes-per-element and a numerically faithful quantize /
+dequantize pair (for the accuracy study and the integration tests); both live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "KvCacheFormat",
+    "KV_FORMATS",
+    "QuantizedKvCache",
+    "quantize_kv",
+    "dequantize_kv",
+    "kv_bytes_per_element",
+    "fp8_e4m3_round",
+]
+
+
+@dataclass(frozen=True)
+class KvCacheFormat:
+    """Descriptor of a KV-cache storage format."""
+
+    name: str
+    bits: int
+    scheme: str  # "int", "fp8", or "fp16"
+    per_channel: bool = True
+
+    @property
+    def bytes_per_element(self) -> float:
+        return self.bits / 8.0
+
+
+KV_FORMATS = {
+    "fp16": KvCacheFormat("fp16", 16, "fp16", per_channel=False),
+    "fp8": KvCacheFormat("fp8", 8, "fp8"),
+    "int8": KvCacheFormat("int8", 8, "int"),
+    "int4": KvCacheFormat("int4", 4, "int"),
+}
+
+
+def kv_bytes_per_element(format_name: str) -> float:
+    """Bytes per stored K/V element for a named format."""
+    try:
+        return KV_FORMATS[format_name].bytes_per_element
+    except KeyError as exc:
+        raise KeyError(f"unknown KV-cache format {format_name!r}; known: {sorted(KV_FORMATS)}") from exc
+
+
+@dataclass
+class QuantizedKvCache:
+    """A quantized K or V tensor ``(tokens, head_dim)`` plus its static per-channel scales."""
+
+    codes: np.ndarray
+    scale: np.ndarray
+    fmt: KvCacheFormat
+    original_shape: Tuple[int, ...]
+
+
+def fp8_e4m3_round(x: np.ndarray) -> np.ndarray:
+    """Round to the nearest representable FP8 E4M3 value (saturating at +-448)."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.zeros_like(x)
+    finite = np.isfinite(x)
+    clipped = np.clip(x[finite], -448.0, 448.0)
+    absx = np.abs(clipped)
+    sign = np.sign(clipped)
+    # Decompose into exponent/mantissa with 3 mantissa bits; subnormals handled with exp=-6.
+    with np.errstate(divide="ignore"):
+        exp = np.floor(np.log2(np.maximum(absx, 1e-45)))
+    exp = np.clip(exp, -6, 8)
+    quantum = np.power(2.0, exp - 3)
+    out[finite] = sign * np.round(absx / quantum) * quantum
+    out[~finite] = np.sign(x[~finite]) * 448.0
+    return out
+
+
+#: Backwards-compatible alias (the rounding helper predates its public export).
+_fp8_e4m3_round = fp8_e4m3_round
+
+
+def quantize_kv(
+    kv: np.ndarray, format_name: str = "int8", scale: Optional[np.ndarray] = None
+) -> QuantizedKvCache:
+    """Quantize a KV tensor ``(tokens, channels)`` with per-channel static scales.
+
+    If ``scale`` is given it is treated as the offline-calibrated static scale (one per
+    channel); otherwise scales are computed from the tensor itself.
+    """
+    fmt = KV_FORMATS.get(format_name)
+    if fmt is None:
+        raise KeyError(f"unknown KV-cache format {format_name!r}")
+    kv = np.asarray(kv, dtype=np.float64)
+    if kv.ndim != 2:
+        raise ValueError("expected a 2-D KV tensor (tokens, channels)")
+
+    if fmt.scheme == "fp16":
+        return QuantizedKvCache(kv.astype(np.float16), np.ones(kv.shape[1]), fmt, kv.shape)
+    if fmt.scheme == "fp8":
+        return QuantizedKvCache(fp8_e4m3_round(kv), np.ones(kv.shape[1]), fmt, kv.shape)
+
+    qmax = 2 ** (fmt.bits - 1) - 1
+    if scale is None:
+        amax = np.abs(kv).max(axis=0) if kv.size else np.zeros(kv.shape[1])
+        scale = np.maximum(amax / qmax, np.finfo(np.float64).tiny)
+    else:
+        scale = np.asarray(scale, dtype=np.float64)
+        if scale.shape[0] != kv.shape[1]:
+            raise ValueError("static scale must have one entry per channel")
+    codes = np.clip(np.round(kv / scale[None, :]), -qmax, qmax).astype(np.int8)
+    return QuantizedKvCache(codes, scale, fmt, kv.shape)
+
+
+def dequantize_kv(cache: QuantizedKvCache) -> np.ndarray:
+    """Reconstruct FP values from a quantized KV tensor."""
+    if cache.fmt.scheme in ("fp16", "fp8"):
+        return np.asarray(cache.codes, dtype=np.float64)
+    return cache.codes.astype(np.float64) * cache.scale[None, :]

@@ -1,0 +1,139 @@
+"""QServe-style progressive (two-level) W4A8 quantization — the paper's main W4A8 baseline.
+
+QServe [Lin et al., 2024] also uses a two-level scheme: per-channel FP->INT8 with the
+protective range ``[-119, 119]``, then per-group INT8 -> UINT4 *asymmetric* quantization with
+an integer scale and zero point.  The crucial difference from LiquidQuant is the online
+dequantization:
+
+    Q_i8_hat = Q_u4 * s_i8 - s_i8 * z_u4        ("subtraction after multiplication")
+
+The subtraction of the packed ``s_i8 * z_u4`` term can wrap around within a byte, so QServe
+must fall back to the ``vadd4``/``vsub4`` SIMD-within-a-register ops which Hopper lowers to a
+dozen scalar instructions (Section 3.2 — profiled at 21% of warp stalls).  The register-level
+emulation of that path lives in :mod:`repro.dequant.qserve`; this module provides the offline
+quantization and a NumPy reference dequantization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .base import UINT4_RANGE, group_reshape, group_unreshape, quantization_error
+from .liquidquant import first_level_quantize
+
+__all__ = [
+    "QServeConfig",
+    "QServeQuantizedWeight",
+    "qserve_quantize",
+    "qserve_dequantize_int8",
+    "qserve_dequantize_fp",
+]
+
+
+@dataclass(frozen=True)
+class QServeConfig:
+    """QServe progressive-quantization configuration (paper default: group size 128)."""
+
+    group_size: int = 128
+    protective_bound: int = 119
+
+    def __post_init__(self):
+        if self.group_size <= 0:
+            raise ValueError("group_size must be positive")
+        if not 1 <= self.protective_bound <= 127:
+            raise ValueError("protective_bound must be in [1, 127]")
+
+
+@dataclass
+class QServeQuantizedWeight:
+    """Offline-quantized weight tensor in QServe's W4A8 format.
+
+    ``q_u4`` are the UINT4 codes, ``scale_i8`` the per-group integer scales, ``zero_u4`` the
+    per-group zero points (in the UINT4 domain), ``scale_ch`` the first-level per-channel FP
+    scales.
+    """
+
+    q_u4: np.ndarray
+    scale_i8: np.ndarray
+    zero_u4: np.ndarray
+    scale_ch: np.ndarray
+    config: QServeConfig
+    original_shape: Tuple[int, int]
+
+    def __post_init__(self):
+        if not UINT4_RANGE.contains(self.q_u4):
+            raise ValueError("q_u4 codes out of UINT4 range")
+        if np.any(self.scale_i8 < 1):
+            raise ValueError("second-level scales must be >= 1")
+        if not UINT4_RANGE.contains(self.zero_u4):
+            raise ValueError("zero points must lie in the UINT4 range")
+
+    @property
+    def num_groups(self) -> int:
+        return self.original_shape[1] // self.config.group_size
+
+    def memory_bytes(self) -> int:
+        code_bytes = (self.q_u4.size + 1) // 2
+        meta_bytes = self.scale_i8.size + self.zero_u4.size
+        ch_scale_bytes = self.scale_ch.size * 2
+        return code_bytes + meta_bytes + ch_scale_bytes
+
+
+def qserve_quantize(w: np.ndarray, config: Optional[QServeConfig] = None) -> QServeQuantizedWeight:
+    """Quantize an FP weight matrix with QServe's progressive two-level scheme."""
+    config = config or QServeConfig()
+    w = np.asarray(w, dtype=np.float64)
+    if w.ndim != 2:
+        raise ValueError("expected a 2-D weight tensor (N, K)")
+    if w.shape[1] % config.group_size != 0:
+        raise ValueError(f"K={w.shape[1]} must be divisible by group_size={config.group_size}")
+
+    q_i8, scale_ch = first_level_quantize(w, config.protective_bound)
+    grouped = group_reshape(q_i8.astype(np.int32), config.group_size)
+    g_min = grouped.min(axis=2)
+    g_max = grouped.max(axis=2)
+    # Asymmetric INT8 -> UINT4: integer scale and zero point per group.
+    scale_i8 = np.clip(np.round((g_max - g_min) / UINT4_RANGE.hi), 1, None).astype(np.int32)
+    zero_u4 = np.clip(np.round(-g_min / scale_i8), 0, UINT4_RANGE.hi).astype(np.int32)
+    q_u4 = np.clip(
+        np.round(grouped / scale_i8[:, :, None]) + zero_u4[:, :, None], 0, UINT4_RANGE.hi
+    ).astype(np.uint8)
+    return QServeQuantizedWeight(
+        q_u4=group_unreshape(q_u4),
+        scale_i8=scale_i8,
+        zero_u4=zero_u4.astype(np.uint8),
+        scale_ch=scale_ch,
+        config=config,
+        original_shape=tuple(w.shape),
+    )
+
+
+def _expand(params: np.ndarray, group_size: int) -> np.ndarray:
+    return np.repeat(params, group_size, axis=1)
+
+
+def qserve_dequantize_int8(qw: QServeQuantizedWeight) -> np.ndarray:
+    """Reference second-level dequantization: ``Q_u4 * s - s * z`` (subtraction after multiply).
+
+    Performed with widened integers here; the register-level path with byte wraparound and
+    ``vsub4`` lowering is emulated in :mod:`repro.dequant.qserve`.
+    """
+    g = qw.config.group_size
+    scale = _expand(qw.scale_i8.astype(np.int32), g)
+    zero = _expand(qw.zero_u4.astype(np.int32), g)
+    q_i8_hat = qw.q_u4.astype(np.int32) * scale - scale * zero
+    return np.clip(q_i8_hat, -128, 127).astype(np.int8)
+
+
+def qserve_dequantize_fp(qw: QServeQuantizedWeight) -> np.ndarray:
+    """Full dequantization back to floating point (second level, then per-channel scale)."""
+    return qserve_dequantize_int8(qw).astype(np.float64) * qw.scale_ch
+
+
+def qserve_roundtrip_error(w: np.ndarray, config: Optional[QServeConfig] = None) -> dict:
+    """Quantize ``w`` with QServe's scheme and report reconstruction error metrics."""
+    qw = qserve_quantize(w, config)
+    return quantization_error(w, qserve_dequantize_fp(qw))

@@ -1,0 +1,150 @@
+"""SmoothQuant-style activation-outlier migration (Section 6, "Offline Quantization").
+
+SmoothQuant [Xiao et al., 2023] rescales each input channel by a smooth factor
+``s_j = max|X_j|^alpha / max|W_j|^(1-alpha)`` so that activation outliers are migrated into the
+weights, which tolerate quantization better.  The transformation is mathematically equivalent:
+
+    Y = X W^T = (X / s) (W * s)^T
+
+The paper applies SmoothQuant before LQQ weight quantization and uses an
+OutlierSuppression+-style grid search over ``alpha`` to pick the factor that minimizes the
+combined quantization error.  This module reproduces both pieces on top of the calibration
+statistics of a (synthetic) activation sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import quantization_error, quantize_tensor, dequantize, QuantGranularity
+
+__all__ = [
+    "SmoothQuantResult",
+    "compute_smooth_scale",
+    "apply_smoothing",
+    "grid_search_alpha",
+    "smooth_and_quantize",
+]
+
+
+@dataclass
+class SmoothQuantResult:
+    """Outcome of the smoothing grid search."""
+
+    alpha: float
+    smooth_scale: np.ndarray
+    weight_error: dict
+    activation_error: dict
+    combined_mse: float
+
+
+def compute_smooth_scale(
+    activation_absmax: np.ndarray,
+    weight_absmax: np.ndarray,
+    alpha: float = 0.5,
+    eps: float = 1e-8,
+) -> np.ndarray:
+    """Per-input-channel smooth scale ``s_j = a_j^alpha / w_j^(1-alpha)``.
+
+    ``activation_absmax`` and ``weight_absmax`` are per-column (input-channel) absolute maxima
+    of the calibration activations ``X`` (M, K) and the weights ``W`` (N, K) respectively.
+    """
+    a = np.maximum(np.asarray(activation_absmax, dtype=np.float64), eps)
+    w = np.maximum(np.asarray(weight_absmax, dtype=np.float64), eps)
+    if a.shape != w.shape:
+        raise ValueError("activation and weight statistics must have the same shape")
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must lie in [0, 1]")
+    scale = np.power(a, alpha) / np.power(w, 1.0 - alpha)
+    return np.maximum(scale, eps)
+
+
+def apply_smoothing(
+    x: np.ndarray, w: np.ndarray, smooth_scale: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply the equivalence transform: ``X' = X / s`` (per column), ``W' = W * s`` (per column)."""
+    x = np.asarray(x, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    s = np.asarray(smooth_scale, dtype=np.float64)
+    if x.shape[1] != w.shape[1] or s.shape[0] != x.shape[1]:
+        raise ValueError("smooth scale must have one entry per shared K dimension")
+    return x / s[None, :], w * s[None, :]
+
+
+def _default_weight_quantizer(w: np.ndarray) -> np.ndarray:
+    codes, params = quantize_tensor(w, bits=4, symmetric=False, signed=False,
+                                    granularity=QuantGranularity.PER_CHANNEL)
+    return dequantize(codes, params)
+
+
+def _default_activation_quantizer(x: np.ndarray) -> np.ndarray:
+    codes, params = quantize_tensor(x, bits=8, symmetric=True,
+                                    granularity=QuantGranularity.PER_TOKEN)
+    return dequantize(codes, params)
+
+
+def grid_search_alpha(
+    x_calib: np.ndarray,
+    w: np.ndarray,
+    alphas: Optional[Sequence[float]] = None,
+    weight_quantizer: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    activation_quantizer: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> SmoothQuantResult:
+    """OutlierSuppression+-style grid search over the smoothing exponent ``alpha``.
+
+    For each candidate alpha the calibration activations and weights are smoothed, quantized
+    with the provided quantizers (defaults: per-token INT8 activations, per-channel INT4
+    weights), and the output-MSE of the quantized matmul against the FP reference is scored.
+    The best alpha and its smooth scale are returned.
+    """
+    x_calib = np.asarray(x_calib, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    if x_calib.ndim != 2 or w.ndim != 2 or x_calib.shape[1] != w.shape[1]:
+        raise ValueError("expected X (M, K) and W (N, K) sharing K")
+    alphas = list(alphas) if alphas is not None else [round(a, 2) for a in np.linspace(0.1, 0.9, 9)]
+    weight_quantizer = weight_quantizer or _default_weight_quantizer
+    activation_quantizer = activation_quantizer or _default_activation_quantizer
+
+    reference = x_calib @ w.T
+    a_absmax = np.abs(x_calib).max(axis=0)
+    w_absmax = np.abs(w).max(axis=0)
+
+    best: Optional[SmoothQuantResult] = None
+    for alpha in alphas:
+        scale = compute_smooth_scale(a_absmax, w_absmax, alpha)
+        x_s, w_s = apply_smoothing(x_calib, w, scale)
+        w_hat = weight_quantizer(w_s)
+        x_hat = activation_quantizer(x_s)
+        out = x_hat @ w_hat.T
+        mse = float(np.mean((out - reference) ** 2))
+        candidate = SmoothQuantResult(
+            alpha=float(alpha),
+            smooth_scale=scale,
+            weight_error=quantization_error(w_s, w_hat),
+            activation_error=quantization_error(x_s, x_hat),
+            combined_mse=mse,
+        )
+        if best is None or candidate.combined_mse < best.combined_mse:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def smooth_and_quantize(
+    x_calib: np.ndarray,
+    w: np.ndarray,
+    quantize_fn: Callable[[np.ndarray], object],
+    alphas: Optional[Sequence[float]] = None,
+):
+    """Run the grid search, then quantize the smoothed weights with ``quantize_fn``.
+
+    Returns ``(quantized_weight, SmoothQuantResult)``.  ``quantize_fn`` is typically
+    :func:`repro.quant.liquidquant.lqq_quantize` or
+    :func:`repro.quant.progressive.qserve_quantize`.
+    """
+    result = grid_search_alpha(x_calib, w, alphas=alphas)
+    _, w_smoothed = apply_smoothing(x_calib, w, result.smooth_scale)
+    return quantize_fn(w_smoothed), result

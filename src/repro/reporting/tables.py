@@ -1,0 +1,78 @@
+"""Plain-text table / series formatting shared by the benchmark harnesses and examples.
+
+Every benchmark regenerates a paper table or figure as text: a fixed-width table for tables
+(Table 1) and "series" listings (batch size -> value per system) for the latency/throughput
+figures.  Keeping the formatting in one place keeps the benchmark files focused on what they
+measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_series", "format_speedups"]
+
+Number = Union[int, float]
+
+
+def _fmt(value, float_fmt: str = "{:.2f}") -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render rows as a fixed-width text table."""
+    rendered_rows = [[_fmt(cell, float_fmt) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Number],
+    series: Mapping[str, Sequence[Number]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render a figure-style dataset: one column of x values, one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x] + [series[name][i] for name in series]
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_fmt=float_fmt)
+
+
+def format_speedups(
+    baseline: str,
+    latencies: Mapping[str, float],
+    title: Optional[str] = None,
+) -> str:
+    """Render per-system speedups relative to ``baseline`` (higher is better)."""
+    if baseline not in latencies:
+        raise KeyError(f"baseline {baseline!r} missing from latencies")
+    base = latencies[baseline]
+    rows = [(name, value, base / value if value > 0 else float("inf"))
+            for name, value in latencies.items()]
+    return format_table(["system", "latency_s", f"speedup vs {baseline}"], rows,
+                        title=title, float_fmt="{:.4g}")

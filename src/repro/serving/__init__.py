@@ -1,0 +1,34 @@
+"""End-to-end LLM serving model: model configs, attention, paged KV cache, systems, engine."""
+
+from .models import MODELS, ModelConfig, get_model, list_models
+from .attention import AttentionCost, decode_attention_cost, prefill_attention_cost
+from .kvcache import KvCacheConfig, KvCacheOutOfMemory, PagedKvCache, SequenceState
+from .systems import SYSTEMS, TABLE1_SYSTEMS, SystemProfile, get_system, list_systems
+from .engine import LayerBreakdown, ServingEngine, ServingResult, ThroughputPoint
+from .scheduler import ContinuousBatchingScheduler, Request, SchedulerStats
+
+__all__ = [
+    "MODELS",
+    "ModelConfig",
+    "get_model",
+    "list_models",
+    "AttentionCost",
+    "decode_attention_cost",
+    "prefill_attention_cost",
+    "KvCacheConfig",
+    "KvCacheOutOfMemory",
+    "PagedKvCache",
+    "SequenceState",
+    "SYSTEMS",
+    "TABLE1_SYSTEMS",
+    "SystemProfile",
+    "get_system",
+    "list_systems",
+    "LayerBreakdown",
+    "ServingEngine",
+    "ServingResult",
+    "ThroughputPoint",
+    "ContinuousBatchingScheduler",
+    "Request",
+    "SchedulerStats",
+]

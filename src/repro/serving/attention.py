@@ -1,0 +1,106 @@
+"""Decode-time attention cost model (FlashAttention-2 style, Section 6).
+
+During decoding each new token attends over the whole KV cache, so attention is overwhelmingly
+memory-bound: the dominant cost is streaming ``batch x context_length x 2 x kv_dim`` cached
+K/V elements from HBM, followed by a comparatively small amount of Tensor-Core work
+(``q·K^T`` and ``p·V``) and the write of the new token's K/V entry.  That is exactly why the
+KV-cache precision (FP8 / INT8 / INT4) and the attention kernel's sustained bandwidth are what
+differentiate the serving systems in Figures 4 and 10.
+
+The model below accounts those three terms explicitly plus a fixed kernel-launch overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.specs import GpuSpec, Precision
+from .models import ModelConfig
+
+__all__ = ["AttentionCost", "decode_attention_cost", "prefill_attention_cost"]
+
+
+@dataclass(frozen=True)
+class AttentionCost:
+    """Per-layer attention cost decomposition (seconds)."""
+
+    kv_read: float
+    kv_write: float
+    compute: float
+    overhead: float
+
+    @property
+    def total(self) -> float:
+        return self.kv_read + self.kv_write + self.compute + self.overhead
+
+
+#: Kernel launch + softmax bookkeeping overhead per attention layer call.
+_ATTENTION_LAUNCH_OVERHEAD_S = 4.0e-6
+
+
+def decode_attention_cost(
+    model: ModelConfig,
+    gpu: GpuSpec,
+    batch_size: int,
+    context_length: int,
+    kv_bytes_per_element: float,
+    bandwidth_efficiency: float = 0.85,
+    attention_efficiency: float = 1.0,
+) -> AttentionCost:
+    """Cost of one decode-step attention call for one layer.
+
+    ``attention_efficiency`` scales the *whole* kernel (bandwidth and compute alike) and is the
+    knob that distinguishes the systems' attention implementations (e.g. TRT-FP8's
+    FP8-optimized attention vs. QServe's kernels on GQA models); see
+    :mod:`repro.serving.systems` for the calibrated per-system values.
+    """
+    if batch_size <= 0 or context_length <= 0:
+        raise ValueError("batch_size and context_length must be positive")
+    if not 0 < attention_efficiency <= 1.0:
+        raise ValueError("attention_efficiency must be in (0, 1]")
+
+    effective_bw = gpu.memory_bandwidth * bandwidth_efficiency * attention_efficiency
+
+    kv_elements = 2.0 * batch_size * context_length * model.kv_dim
+    kv_read = kv_elements * kv_bytes_per_element / effective_bw
+
+    new_kv_bytes = 2.0 * batch_size * model.kv_dim * kv_bytes_per_element
+    kv_write = new_kv_bytes / effective_bw
+
+    # q·K^T and p·V: 2 * batch * context * heads * head_dim MACs each -> 8 * B * L * hidden ops.
+    flops = 8.0 * batch_size * context_length * model.num_heads * model.head_dim
+    tensor_precision = Precision.FP16 if gpu.supports_precision(Precision.FP16) else Precision.INT8
+    compute = flops / (gpu.tensor_core_throughput(tensor_precision) * attention_efficiency)
+
+    return AttentionCost(
+        kv_read=kv_read,
+        kv_write=kv_write,
+        compute=compute,
+        overhead=_ATTENTION_LAUNCH_OVERHEAD_S,
+    )
+
+
+def prefill_attention_cost(
+    model: ModelConfig,
+    gpu: GpuSpec,
+    batch_size: int,
+    prompt_length: int,
+    bandwidth_efficiency: float = 0.85,
+    attention_efficiency: float = 1.0,
+) -> AttentionCost:
+    """Cost of one prefill attention call for one layer (causal, compute-bound).
+
+    Prefill attention is quadratic in the prompt length but runs on Tensor Cores at high
+    utilization; the KV cache is written once.  The serving engine uses this only to estimate
+    the (amortized) prefill contribution to end-to-end throughput.
+    """
+    if batch_size <= 0 or prompt_length <= 0:
+        raise ValueError("batch_size and prompt_length must be positive")
+    flops = 4.0 * batch_size * prompt_length * prompt_length * model.num_heads * model.head_dim / 2.0
+    tensor_precision = Precision.FP16 if gpu.supports_precision(Precision.FP16) else Precision.INT8
+    compute = flops / (gpu.tensor_core_throughput(tensor_precision) * 0.6 * attention_efficiency)
+    kv_write = 2.0 * batch_size * prompt_length * model.kv_dim * 2.0 / (
+        gpu.memory_bandwidth * bandwidth_efficiency
+    )
+    return AttentionCost(kv_read=0.0, kv_write=kv_write, compute=compute,
+                         overhead=_ATTENTION_LAUNCH_OVERHEAD_S)

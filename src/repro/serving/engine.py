@@ -1,0 +1,287 @@
+"""End-to-end LLM serving performance model (Table 1, Figures 4, 10, 11).
+
+The engine composes the substrates built elsewhere in the library:
+
+* per-layer GEMM latency from the kernel models (:mod:`repro.kernels`) on the layer shapes of
+  :mod:`repro.workloads.shapes` — MoE layers become grouped per-expert GEMMs;
+* attention cost from the memory-bound decode model (:mod:`repro.serving.attention`) with the
+  system's KV-cache precision and attention efficiency;
+* an "Others" bucket (element-wise kernels: layer norms, rotary embedding, residuals, SwiGLU
+  activation, dynamic activation quantization) plus per-layer framework overhead;
+* KV-cache capacity from the paged allocator (:mod:`repro.serving.kvcache`) under the GPU
+  memory budget, which bounds the usable batch size.
+
+From those it derives decode-step latency, end-to-end request latency (prefill + decode),
+token throughput at a fixed batch size, and the peak throughput over a batch sweep — the
+quantities the paper's system-level evaluation reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..costmodel.model import GemmShape
+from ..gpu.device import Device
+from ..gpu.specs import Precision
+from ..kernels.base import GemmKernel, as_device
+from ..kernels.registry import get_kernel
+from ..quant.kvcache import kv_bytes_per_element
+from ..workloads.shapes import decode_layer_gemms
+from .attention import decode_attention_cost, prefill_attention_cost
+from .kvcache import KvCacheConfig, PagedKvCache
+from .models import ModelConfig, get_model
+from .systems import SystemProfile, get_system
+
+__all__ = [
+    "LayerBreakdown",
+    "ThroughputPoint",
+    "ServingResult",
+    "ServingEngine",
+]
+
+#: Memory reserved for activations, CUDA graphs, workspace and fragmentation slack.
+_ACTIVATION_RESERVE_BYTES = 2 * 2**30
+#: Element-wise passes over the hidden state per layer (2 layer norms, rotary, 2 residuals,
+#: SwiGLU multiply, activation quantization) in units of (read+write) hidden-state sweeps.
+_ELEMENTWISE_PASSES = 7.0
+
+
+@dataclass
+class LayerBreakdown:
+    """Per-layer decode-step time split (seconds) — the Figure 4 / Figure 10 quantity."""
+
+    gemm: float
+    attention: float
+    others: float
+
+    @property
+    def total(self) -> float:
+        return self.gemm + self.attention + self.others
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total
+        if total <= 0:
+            return {"gemm": 0.0, "attention": 0.0, "others": 0.0}
+        return {
+            "gemm": self.gemm / total,
+            "attention": self.attention / total,
+            "others": self.others / total,
+        }
+
+
+@dataclass
+class ThroughputPoint:
+    """Throughput of one (system, model, batch) configuration."""
+
+    batch_size: int
+    tokens_per_second: float
+    decode_step_s: float
+    request_latency_s: float
+    fits_in_memory: bool
+
+
+@dataclass
+class ServingResult:
+    """Outcome of a peak-throughput search (one Table 1 cell)."""
+
+    system: str
+    model: str
+    peak_throughput: float
+    peak_batch_size: int
+    sweep: List[ThroughputPoint] = field(default_factory=list)
+    oom: bool = False
+
+    @property
+    def label(self) -> str:
+        if self.oom:
+            return "OOM"
+        return f"{self.peak_throughput:,.0f} ({self.peak_batch_size})"
+
+
+class ServingEngine:
+    """Performance model of one serving system running one model on one GPU."""
+
+    def __init__(self, system, model, device="H800"):
+        self.system: SystemProfile = system if isinstance(system, SystemProfile) else get_system(system)
+        self.model: ModelConfig = model if isinstance(model, ModelConfig) else get_model(model)
+        self.device: Device = as_device(device)
+        self.kernel: GemmKernel = get_kernel(self.system.kernel)
+        self._fp16_kernel = get_kernel("fp16")
+        if self.model.is_moe and not self.system.supports_moe:
+            self.supported = False
+        else:
+            self.supported = True
+
+    # ------------------------------------------------------------------ memory accounting
+    def weight_memory_bytes(self) -> int:
+        """GPU memory occupied by model weights in this system's format."""
+        linear = self.model.gemm_weight_params() * self.system.weight_bytes_per_param
+        embeddings = self.model.embedding_params() * 2.0  # embeddings / LM head kept FP16
+        return int(linear + embeddings)
+
+    def kv_budget_bytes(self) -> int:
+        budget = (
+            self.device.spec.memory_capacity
+            - self.weight_memory_bytes()
+            - _ACTIVATION_RESERVE_BYTES
+        )
+        return int(max(0, budget))
+
+    def kv_cache_config(self) -> KvCacheConfig:
+        return KvCacheConfig(
+            model=self.model,
+            kv_format=self.system.kv_format,
+            memory_budget_bytes=self.kv_budget_bytes(),
+        )
+
+    def max_batch_size(self, tokens_per_sequence: int) -> int:
+        """Largest batch of equal-length sequences that fits in the KV budget."""
+        config = self.kv_cache_config()
+        if config.memory_budget_bytes <= 0:
+            return 0
+        capacity = PagedKvCache.max_batch_size(config, tokens_per_sequence)
+        return min(capacity, self.system.max_batch_size)
+
+    # ------------------------------------------------------------------ per-layer timing
+    def layer_gemm_time(self, batch_size: int) -> float:
+        """Decode-step GEMM time of one transformer layer."""
+        gemms = decode_layer_gemms(self.model, batch_size)
+        total = 0.0
+        for shape in gemms.attention_gemms():
+            total += self.kernel.estimate(shape, self.device).latency_s
+        if self.model.is_moe:
+            # Per-expert FFN GEMMs executed as one grouped GEMM (persistent kernel).
+            total += self.kernel.estimate(
+                gemms.gate_up[0], self.device, group_sizes=gemms.gate_up
+            ).latency_s
+            total += self.kernel.estimate(
+                gemms.down[0], self.device, group_sizes=gemms.down
+            ).latency_s
+        else:
+            for shape in gemms.ffn_gemms():
+                total += self.kernel.estimate(shape, self.device).latency_s
+        return total
+
+    def layer_attention_time(self, batch_size: int, context_length: int) -> float:
+        cost = decode_attention_cost(
+            self.model,
+            self.device.spec,
+            batch_size,
+            context_length,
+            kv_bytes_per_element(self.system.kv_format),
+            attention_efficiency=self.system.attention_efficiency,
+        )
+        return cost.total
+
+    def layer_others_time(self, batch_size: int) -> float:
+        elementwise_bytes = (
+            _ELEMENTWISE_PASSES * 2.0 * batch_size * self.model.hidden_size * 2.0
+        )
+        elementwise = elementwise_bytes / (self.device.spec.memory_bandwidth * 0.7)
+        fixed = 6.0e-6 + self.system.framework_overhead_per_layer_s
+        return self.system.others_scale * elementwise + fixed
+
+    def layer_breakdown(self, batch_size: int, context_length: int) -> LayerBreakdown:
+        """Per-layer decode time split — the quantity plotted in Figures 4 and 10."""
+        return LayerBreakdown(
+            gemm=self.layer_gemm_time(batch_size),
+            attention=self.layer_attention_time(batch_size, context_length),
+            others=self.layer_others_time(batch_size),
+        )
+
+    # ------------------------------------------------------------------ step / request timing
+    def lm_head_time(self, batch_size: int) -> float:
+        shape = GemmShape(batch_size, self.model.vocab_size, self.model.hidden_size)
+        return self._fp16_kernel.estimate(shape, self.device).latency_s
+
+    def decode_step_time(self, batch_size: int, context_length: int) -> float:
+        """Latency of generating one token for every sequence in the batch."""
+        per_layer = self.layer_breakdown(batch_size, context_length).total
+        return per_layer * self.model.num_layers + self.lm_head_time(batch_size)
+
+    def prefill_time(self, batch_size: int, prompt_length: int) -> float:
+        """Approximate prompt-processing time for a batch of requests.
+
+        Prefill GEMMs are compute-bound; we charge the model's full forward FLOPs at a
+        sustained fraction of the Tensor-Core peak, plus the quadratic attention term.
+        """
+        flops = 2.0 * batch_size * prompt_length * self.model.active_params_per_token()
+        mma_precision = self.kernel.cost_params(self.device.spec).mma_precision
+        peak = self.device.spec.tensor_core_throughput(mma_precision)
+        gemm = flops / (peak * 0.75)
+        attention = (
+            prefill_attention_cost(
+                self.model, self.device.spec, batch_size, prompt_length,
+                attention_efficiency=self.system.attention_efficiency,
+            ).total
+            * self.model.num_layers
+        )
+        return gemm + attention
+
+    # ------------------------------------------------------------------ throughput
+    def throughput(self, batch_size: int, input_len: int = 1024, output_len: int = 512
+                   ) -> ThroughputPoint:
+        """Sustained token generation throughput at a fixed batch size.
+
+        A batch of requests is processed as: one prefill over ``input_len`` tokens, then
+        ``output_len`` decode steps with the context growing from ``input_len`` to
+        ``input_len + output_len``.  Throughput counts generated tokens only, matching the
+        paper's tokens/s metric.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        fits = batch_size <= self.max_batch_size(input_len + output_len)
+
+        # Decode cost grows linearly with context; evaluating at the mean context length is
+        # exact for the linear terms and a very tight approximation overall.
+        mean_context = input_len + output_len / 2.0
+        decode_step = self.decode_step_time(batch_size, int(mean_context))
+        decode_total = decode_step * output_len
+        prefill = self.prefill_time(batch_size, input_len)
+        request_latency = prefill + decode_total
+        tokens = batch_size * output_len
+        return ThroughputPoint(
+            batch_size=batch_size,
+            tokens_per_second=tokens / request_latency,
+            decode_step_s=decode_step,
+            request_latency_s=request_latency,
+            fits_in_memory=fits,
+        )
+
+    def peak_throughput(
+        self,
+        input_len: int = 1024,
+        output_len: int = 512,
+        batch_sizes: Optional[Sequence[int]] = None,
+    ) -> ServingResult:
+        """Search batch sizes (1..256, plus the memory limit) for the peak throughput."""
+        if not self.supported:
+            return ServingResult(system=self.system.name, model=self.model.name,
+                                 peak_throughput=0.0, peak_batch_size=0, oom=True)
+        max_batch = self.max_batch_size(input_len + output_len)
+        if max_batch < 1:
+            return ServingResult(system=self.system.name, model=self.model.name,
+                                 peak_throughput=0.0, peak_batch_size=0, oom=True)
+
+        if batch_sizes is None:
+            batch_sizes = [1, 2, 4, 8, 13, 16, 24, 32, 36, 45, 46, 48, 53, 64, 96, 100, 109,
+                           119, 124, 128, 144, 160, 184, 194, 200, 225, 256]
+        candidates = sorted({b for b in batch_sizes if 1 <= b <= max_batch} | {max_batch})
+
+        sweep: List[ThroughputPoint] = []
+        best: Optional[ThroughputPoint] = None
+        for batch in candidates:
+            point = self.throughput(batch, input_len, output_len)
+            sweep.append(point)
+            if best is None or point.tokens_per_second > best.tokens_per_second:
+                best = point
+        assert best is not None
+        return ServingResult(
+            system=self.system.name,
+            model=self.model.name,
+            peak_throughput=best.tokens_per_second,
+            peak_batch_size=best.batch_size,
+            sweep=sweep,
+        )

@@ -1,0 +1,152 @@
+"""Paged KV-cache manager (PagedAttention-style, Section 6).
+
+The serving systems in the paper manage the KV cache in fixed-size blocks so that memory is
+allocated on demand and sequences of different lengths share the pool without fragmentation.
+This module implements that block manager exactly (allocation, append, free, copy-on-fork),
+because it is what determines the maximum batch size under the 80 GB budget in Table 1 — and
+because its invariants (no double allocation, capacity never exceeded, blocks returned on
+free) are good property-test material.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..quant.kvcache import kv_bytes_per_element
+from .models import ModelConfig
+
+__all__ = ["KvCacheConfig", "PagedKvCache", "KvCacheOutOfMemory", "SequenceState"]
+
+
+class KvCacheOutOfMemory(RuntimeError):
+    """Raised when a sequence needs a KV block but the pool is exhausted."""
+
+
+@dataclass(frozen=True)
+class KvCacheConfig:
+    """Static configuration of the paged KV-cache pool."""
+
+    model: ModelConfig
+    kv_format: str = "int8"
+    block_tokens: int = 16            # tokens per block (vLLM default granularity)
+    memory_budget_bytes: int = 0      # pool size; set by the serving engine
+
+    @property
+    def bytes_per_token(self) -> float:
+        """KV bytes one token occupies across all layers (K and V, all KV heads)."""
+        return self.model.kv_bytes_per_token(kv_bytes_per_element(self.kv_format))
+
+    @property
+    def bytes_per_block(self) -> int:
+        return int(math.ceil(self.block_tokens * self.bytes_per_token))
+
+    @property
+    def total_blocks(self) -> int:
+        if self.memory_budget_bytes <= 0:
+            return 0
+        return self.memory_budget_bytes // self.bytes_per_block
+
+    def blocks_for_tokens(self, num_tokens: int) -> int:
+        return math.ceil(num_tokens / self.block_tokens)
+
+
+@dataclass
+class SequenceState:
+    """Book-keeping for one sequence resident in the cache."""
+
+    seq_id: int
+    num_tokens: int = 0
+    blocks: List[int] = field(default_factory=list)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+
+class PagedKvCache:
+    """Block-granular KV-cache allocator."""
+
+    def __init__(self, config: KvCacheConfig):
+        if config.memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive")
+        self.config = config
+        self._free_blocks: List[int] = list(range(config.total_blocks))
+        self._sequences: Dict[int, SequenceState] = {}
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def num_free_blocks(self) -> int:
+        return len(self._free_blocks)
+
+    @property
+    def num_used_blocks(self) -> int:
+        return self.config.total_blocks - self.num_free_blocks
+
+    @property
+    def num_sequences(self) -> int:
+        return len(self._sequences)
+
+    def used_bytes(self) -> int:
+        return self.num_used_blocks * self.config.bytes_per_block
+
+    def utilization(self) -> float:
+        total = self.config.total_blocks
+        return self.num_used_blocks / total if total else 0.0
+
+    def sequence(self, seq_id: int) -> SequenceState:
+        return self._sequences[seq_id]
+
+    def can_admit(self, num_tokens: int) -> bool:
+        """Would a new sequence of ``num_tokens`` fit right now?"""
+        return self.config.blocks_for_tokens(num_tokens) <= self.num_free_blocks
+
+    # ------------------------------------------------------------------ mutation
+    def add_sequence(self, seq_id: int, prompt_tokens: int) -> SequenceState:
+        """Admit a new sequence with its prompt already cached (prefill)."""
+        if seq_id in self._sequences:
+            raise ValueError(f"sequence {seq_id} already resident")
+        if prompt_tokens < 0:
+            raise ValueError("prompt_tokens must be non-negative")
+        needed = self.config.blocks_for_tokens(prompt_tokens) if prompt_tokens else 0
+        if needed > self.num_free_blocks:
+            raise KvCacheOutOfMemory(
+                f"sequence {seq_id} needs {needed} blocks, only {self.num_free_blocks} free"
+            )
+        state = SequenceState(seq_id=seq_id, num_tokens=prompt_tokens,
+                              blocks=[self._free_blocks.pop() for _ in range(needed)])
+        self._sequences[seq_id] = state
+        return state
+
+    def append_token(self, seq_id: int) -> SequenceState:
+        """Grow a sequence by one decoded token, allocating a new block when needed."""
+        state = self._sequences.get(seq_id)
+        if state is None:
+            raise KeyError(f"unknown sequence {seq_id}")
+        new_total = state.num_tokens + 1
+        if self.config.blocks_for_tokens(new_total) > state.num_blocks:
+            if not self._free_blocks:
+                raise KvCacheOutOfMemory(f"no free block for sequence {seq_id}")
+            state.blocks.append(self._free_blocks.pop())
+        state.num_tokens = new_total
+        return state
+
+    def free_sequence(self, seq_id: int) -> int:
+        """Release a finished sequence; returns the number of blocks returned to the pool."""
+        state = self._sequences.pop(seq_id, None)
+        if state is None:
+            raise KeyError(f"unknown sequence {seq_id}")
+        self._free_blocks.extend(state.blocks)
+        return len(state.blocks)
+
+    # ------------------------------------------------------------------ capacity planning
+    @staticmethod
+    def max_batch_size(config: KvCacheConfig, tokens_per_sequence: int) -> int:
+        """Largest number of equal-length sequences the pool can hold simultaneously."""
+        if tokens_per_sequence <= 0:
+            raise ValueError("tokens_per_sequence must be positive")
+        blocks_per_seq = config.blocks_for_tokens(tokens_per_sequence)
+        if blocks_per_seq == 0:
+            return 0
+        return config.total_blocks // blocks_per_seq

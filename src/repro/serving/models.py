@@ -1,0 +1,143 @@
+"""Model architecture configurations for every model evaluated in the paper (Table 1).
+
+The serving engine needs only the architectural facts that determine GEMM shapes, KV-cache
+size and parameter counts: hidden size, layer count, attention head geometry (including GQA),
+FFN width, MoE expert structure and vocabulary size.  The numbers below are the published
+configurations of the open-source checkpoints the paper serves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["ModelConfig", "MODELS", "get_model", "list_models"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of a decoder-only transformer LLM."""
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    num_kv_heads: int
+    intermediate_size: int
+    vocab_size: int
+    #: MoE structure; dense models use 1 expert with top-1 routing.
+    num_experts: int = 1
+    experts_per_token: int = 1
+
+    def __post_init__(self):
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ValueError("num_heads must be divisible by num_kv_heads (GQA)")
+        if self.experts_per_token > self.num_experts:
+            raise ValueError("experts_per_token cannot exceed num_experts")
+
+    # ------------------------------------------------------------------ geometry
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Per-token K (or V) width in elements."""
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def is_moe(self) -> bool:
+        return self.num_experts > 1
+
+    @property
+    def qkv_output_dim(self) -> int:
+        """Output width of the fused QKV projection."""
+        return (self.num_heads + 2 * self.num_kv_heads) * self.head_dim
+
+    # ------------------------------------------------------------------ parameter counts
+    def attention_params_per_layer(self) -> int:
+        return self.hidden_size * self.qkv_output_dim + self.hidden_size * self.hidden_size
+
+    def ffn_params_per_expert(self) -> int:
+        # Gate, up and down projections (SwiGLU).
+        return 3 * self.hidden_size * self.intermediate_size
+
+    def ffn_params_per_layer(self) -> int:
+        return self.num_experts * self.ffn_params_per_expert()
+
+    def params_per_layer(self) -> int:
+        return self.attention_params_per_layer() + self.ffn_params_per_layer()
+
+    def gemm_weight_params(self) -> int:
+        """Parameters that flow through the serving GEMM kernels (all layers)."""
+        return self.num_layers * self.params_per_layer()
+
+    def active_params_per_token(self) -> int:
+        """Parameters touched when processing one token (MoE models activate top-k experts)."""
+        per_layer = (
+            self.attention_params_per_layer()
+            + self.experts_per_token * self.ffn_params_per_expert()
+        )
+        return self.num_layers * per_layer
+
+    def embedding_params(self) -> int:
+        # Token embedding + LM head (untied, the common case for these checkpoints).
+        return 2 * self.vocab_size * self.hidden_size
+
+    def total_params(self) -> int:
+        return self.gemm_weight_params() + self.embedding_params()
+
+    # ------------------------------------------------------------------ KV cache
+    def kv_bytes_per_token(self, bytes_per_element: float) -> float:
+        """KV-cache bytes one token occupies across all layers (K and V)."""
+        return 2.0 * self.kv_dim * self.num_layers * bytes_per_element
+
+
+MODELS: Dict[str, ModelConfig] = {
+    "llama1-30b": ModelConfig(
+        name="llama1-30b", num_layers=60, hidden_size=6656, num_heads=52, num_kv_heads=52,
+        intermediate_size=17920, vocab_size=32000,
+    ),
+    "llama2-7b": ModelConfig(
+        name="llama2-7b", num_layers=32, hidden_size=4096, num_heads=32, num_kv_heads=32,
+        intermediate_size=11008, vocab_size=32000,
+    ),
+    "llama2-13b": ModelConfig(
+        name="llama2-13b", num_layers=40, hidden_size=5120, num_heads=40, num_kv_heads=40,
+        intermediate_size=13824, vocab_size=32000,
+    ),
+    "llama2-70b": ModelConfig(
+        name="llama2-70b", num_layers=80, hidden_size=8192, num_heads=64, num_kv_heads=8,
+        intermediate_size=28672, vocab_size=32000,
+    ),
+    "llama3-8b": ModelConfig(
+        name="llama3-8b", num_layers=32, hidden_size=4096, num_heads=32, num_kv_heads=8,
+        intermediate_size=14336, vocab_size=128256,
+    ),
+    "mistral-7b": ModelConfig(
+        name="mistral-7b", num_layers=32, hidden_size=4096, num_heads=32, num_kv_heads=8,
+        intermediate_size=14336, vocab_size=32000,
+    ),
+    "yi-34b": ModelConfig(
+        name="yi-34b", num_layers=60, hidden_size=7168, num_heads=56, num_kv_heads=8,
+        intermediate_size=20480, vocab_size=64000,
+    ),
+    "mixtral-8x7b": ModelConfig(
+        name="mixtral-8x7b", num_layers=32, hidden_size=4096, num_heads=32, num_kv_heads=8,
+        intermediate_size=14336, vocab_size=32000, num_experts=8, experts_per_token=2,
+    ),
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model configuration by (case-insensitive) name."""
+    key = name.lower()
+    if key not in MODELS:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODELS)}")
+    return MODELS[key]
+
+
+def list_models() -> List[str]:
+    return sorted(MODELS)

@@ -1,0 +1,132 @@
+"""Continuous-batching scheduler simulation (Orca/vLLM-style iteration-level scheduling).
+
+Table 1 uses fixed-length batches, but a production serving system (Section 6) admits and
+retires requests continuously, bounded by the paged KV cache.  This module simulates that
+behaviour on top of the engine's step-time model: requests arrive with a prompt length and a
+target output length, are admitted when KV blocks are available, run decode steps batched
+together, and release their blocks on completion.  It is used by the ``llm_serving`` example
+and exercises the paged allocator under realistic churn (a good integration-test surface).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .engine import ServingEngine
+from .kvcache import KvCacheOutOfMemory, PagedKvCache
+
+__all__ = ["Request", "SchedulerStats", "ContinuousBatchingScheduler"]
+
+
+@dataclass
+class Request:
+    """One inference request."""
+
+    request_id: int
+    prompt_tokens: int
+    output_tokens: int
+    arrival_time_s: float = 0.0
+    # Filled by the scheduler:
+    first_token_time_s: Optional[float] = None
+    completion_time_s: Optional[float] = None
+    generated: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.generated >= self.output_tokens
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate statistics of one simulation run."""
+
+    simulated_time_s: float
+    completed_requests: int
+    generated_tokens: int
+    mean_ttft_s: float
+    mean_latency_s: float
+    peak_batch_size: int
+    peak_kv_utilization: float
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        if self.simulated_time_s <= 0:
+            return 0.0
+        return self.generated_tokens / self.simulated_time_s
+
+
+class ContinuousBatchingScheduler:
+    """Iteration-level scheduler over the serving engine's analytic step times."""
+
+    def __init__(self, engine: ServingEngine, max_batch_size: Optional[int] = None):
+        self.engine = engine
+        config = engine.kv_cache_config()
+        if config.memory_budget_bytes <= 0:
+            raise KvCacheOutOfMemory("model weights alone exceed the device memory budget")
+        self.kv_cache = PagedKvCache(config)
+        self.max_batch_size = max_batch_size or engine.system.max_batch_size
+
+    def run(self, requests: Sequence[Request]) -> SchedulerStats:
+        """Simulate serving ``requests`` to completion and return aggregate statistics."""
+        pending: List[Request] = sorted(requests, key=lambda r: r.arrival_time_s)
+        running: List[Request] = []
+        clock = 0.0
+        completed: List[Request] = []
+        generated_tokens = 0
+        peak_batch = 0
+        peak_util = 0.0
+
+        while pending or running:
+            # Admit arrived requests while KV blocks and batch slots remain.
+            while pending and pending[0].arrival_time_s <= clock and len(running) < self.max_batch_size:
+                request = pending[0]
+                if not self.kv_cache.can_admit(request.prompt_tokens + 1):
+                    break
+                pending.pop(0)
+                self.kv_cache.add_sequence(request.request_id, request.prompt_tokens)
+                clock += self.engine.prefill_time(1, request.prompt_tokens)
+                request.first_token_time_s = clock
+                running.append(request)
+
+            if not running:
+                # Idle until the next arrival.
+                clock = max(clock, pending[0].arrival_time_s)
+                continue
+
+            # One decode iteration for the whole running batch.
+            batch = len(running)
+            peak_batch = max(peak_batch, batch)
+            context = max(
+                self.kv_cache.sequence(r.request_id).num_tokens for r in running
+            )
+            clock += self.engine.decode_step_time(batch, max(1, context))
+            still_running: List[Request] = []
+            for request in running:
+                self.kv_cache.append_token(request.request_id)
+                request.generated += 1
+                generated_tokens += 1
+                if request.finished:
+                    request.completion_time_s = clock
+                    self.kv_cache.free_sequence(request.request_id)
+                    completed.append(request)
+                else:
+                    still_running.append(request)
+            running = still_running
+            peak_util = max(peak_util, self.kv_cache.utilization())
+
+        ttfts = [r.first_token_time_s - r.arrival_time_s for r in completed
+                 if r.first_token_time_s is not None]
+        latencies = [r.completion_time_s - r.arrival_time_s for r in completed
+                     if r.completion_time_s is not None]
+        return SchedulerStats(
+            simulated_time_s=clock,
+            completed_requests=len(completed),
+            generated_tokens=generated_tokens,
+            mean_ttft_s=sum(ttfts) / len(ttfts) if ttfts else 0.0,
+            mean_latency_s=sum(latencies) / len(latencies) if latencies else 0.0,
+            peak_batch_size=peak_batch,
+            peak_kv_utilization=peak_util,
+        )

@@ -1,0 +1,108 @@
+"""Serving-system profiles: the seven systems compared in Table 1.
+
+A :class:`SystemProfile` bundles everything that distinguishes one serving system from another
+at the level this reproduction models:
+
+* which GEMM kernel it uses (by registry name),
+* how many bytes per parameter its weight format occupies in GPU memory,
+* how the KV cache is stored,
+* how efficient its attention implementation is (relative to the shared memory-bound model),
+* how much per-layer framework overhead it adds outside GEMM and attention.
+
+The first three are documented facts about the respective systems.  The last two are the only
+*calibrated* quantities in the serving model: they absorb implementation quality differences
+(e.g. TRT-FP8's FP8-optimized attention kernels, QServe's less-optimized attention on GQA
+models and heavier framework path) that the paper itself places outside its scope but that are
+clearly visible in its Figure 10 breakdowns.  They are held constant across all models and
+batch sizes — nothing is fitted per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["SystemProfile", "SYSTEMS", "get_system", "list_systems", "TABLE1_SYSTEMS"]
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Configuration of one end-to-end serving system."""
+
+    name: str
+    kernel: str                      # GEMM kernel registry name
+    weight_bytes_per_param: float    # deployed bytes per linear-layer parameter
+    kv_format: str                   # KV-cache storage format (repro.quant.kvcache)
+    attention_efficiency: float      # relative efficiency of the attention kernels
+    framework_overhead_per_layer_s: float  # extra per-layer host/runtime overhead
+    others_scale: float = 1.0        # multiplier on the element-wise "Others" bucket
+    supports_moe: bool = True        # TRT-W8A8 lacks Mixtral support (Table 1 "NA")
+    max_batch_size: int = 256        # largest batch the system's runtime supports
+
+    def __post_init__(self):
+        if self.weight_bytes_per_param <= 0:
+            raise ValueError("weight_bytes_per_param must be positive")
+        if not 0 < self.attention_efficiency <= 1.0:
+            raise ValueError("attention_efficiency must be in (0, 1]")
+        if self.framework_overhead_per_layer_s < 0:
+            raise ValueError("framework overhead must be non-negative")
+
+
+#: Deployed bytes per parameter for the two-level 4-bit formats: 4-bit codes plus one byte of
+#: per-group metadata every `group` elements plus an FP16 per-channel scale (amortized).
+_W4_BYTES = 0.5 + 2.0 / 64.0 + 2.0 / 4096.0
+_W4_BYTES_G128 = 0.5 + 2.0 / 128.0 + 2.0 / 4096.0
+
+SYSTEMS: Dict[str, SystemProfile] = {
+    "trt-fp16": SystemProfile(
+        name="trt-fp16", kernel="fp16", weight_bytes_per_param=2.0, kv_format="fp8",
+        attention_efficiency=0.90, framework_overhead_per_layer_s=3.0e-6,
+    ),
+    "trt-w4a16": SystemProfile(
+        name="trt-w4a16", kernel="w4a16", weight_bytes_per_param=_W4_BYTES_G128, kv_format="fp8",
+        attention_efficiency=0.90, framework_overhead_per_layer_s=3.0e-6,
+    ),
+    "trt-w8a8": SystemProfile(
+        name="trt-w8a8", kernel="w8a8", weight_bytes_per_param=1.0, kv_format="int8",
+        attention_efficiency=0.90, framework_overhead_per_layer_s=3.0e-6, supports_moe=False,
+    ),
+    "trt-fp8": SystemProfile(
+        name="trt-fp8", kernel="fp8", weight_bytes_per_param=1.0, kv_format="fp8",
+        attention_efficiency=0.95, framework_overhead_per_layer_s=3.0e-6,
+    ),
+    "qserve": SystemProfile(
+        name="qserve", kernel="qserve-w4a8", weight_bytes_per_param=_W4_BYTES_G128,
+        kv_format="int4", attention_efficiency=0.40,
+        framework_overhead_per_layer_s=40.0e-6, others_scale=2.0, max_batch_size=128,
+    ),
+    "liquidserve": SystemProfile(
+        name="liquidserve", kernel="liquidgemm", weight_bytes_per_param=_W4_BYTES,
+        kv_format="int8", attention_efficiency=0.93, framework_overhead_per_layer_s=4.0e-6,
+    ),
+    "liquidserve-wo": SystemProfile(
+        name="liquidserve-wo", kernel="qserve-w4a8", weight_bytes_per_param=_W4_BYTES_G128,
+        kv_format="int8", attention_efficiency=0.93, framework_overhead_per_layer_s=4.0e-6,
+    ),
+}
+
+#: Row order used by the Table 1 reproduction.
+TABLE1_SYSTEMS: List[str] = [
+    "trt-fp16",
+    "trt-w4a16",
+    "trt-w8a8",
+    "trt-fp8",
+    "qserve",
+    "liquidserve-wo",
+    "liquidserve",
+]
+
+
+def get_system(name: str) -> SystemProfile:
+    key = name.lower()
+    if key not in SYSTEMS:
+        raise KeyError(f"unknown serving system {name!r}; known: {sorted(SYSTEMS)}")
+    return SYSTEMS[key]
+
+
+def list_systems() -> List[str]:
+    return sorted(SYSTEMS)

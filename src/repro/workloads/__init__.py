@@ -1,0 +1,17 @@
+"""Workload generators: per-model layer GEMM shapes and batch sweeps."""
+
+from .shapes import (
+    PAPER_BATCH_SIZES,
+    LayerGemms,
+    batch_sweep,
+    decode_layer_gemms,
+    moe_expert_batch,
+)
+
+__all__ = [
+    "PAPER_BATCH_SIZES",
+    "LayerGemms",
+    "batch_sweep",
+    "decode_layer_gemms",
+    "moe_expert_batch",
+]

@@ -1,0 +1,95 @@
+"""GEMM workload generation: the layer shapes of each model and batch-size sweeps.
+
+The paper's kernel benchmarks (Figures 5 and 12) run "all GEMMs of a single-layer
+transformer": the fused QKV projection, the output projection and the two FFN GEMMs
+(gate+up fused, and down).  For MoE models each expert contributes its own FFN GEMMs with the
+tokens routed to it.  This module turns a :class:`~repro.serving.models.ModelConfig` and a
+batch size into that list of :class:`~repro.costmodel.model.GemmShape` objects, plus helpers
+for the batch sweeps used across the evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..costmodel.model import GemmShape
+from ..serving.models import ModelConfig
+
+__all__ = ["LayerGemms", "decode_layer_gemms", "moe_expert_batch", "batch_sweep", "PAPER_BATCH_SIZES"]
+
+#: The batch sizes swept in Figures 5, 12 and 13 (2^2 .. 2^8).
+PAPER_BATCH_SIZES = tuple(2**i for i in range(2, 9))
+
+
+@dataclass(frozen=True)
+class LayerGemms:
+    """The GEMM workload of one transformer layer at a given decode batch size."""
+
+    qkv: GemmShape
+    out_proj: GemmShape
+    gate_up: List[GemmShape]
+    down: List[GemmShape]
+
+    def all(self) -> List[GemmShape]:
+        return [self.qkv, self.out_proj] + list(self.gate_up) + list(self.down)
+
+    def attention_gemms(self) -> List[GemmShape]:
+        return [self.qkv, self.out_proj]
+
+    def ffn_gemms(self) -> List[GemmShape]:
+        return list(self.gate_up) + list(self.down)
+
+    @property
+    def total_weight_elements(self) -> int:
+        return sum(s.weight_elements for s in self.all())
+
+    @property
+    def total_flops(self) -> int:
+        return sum(s.flops for s in self.all())
+
+
+def moe_expert_batch(batch_size: int, model: ModelConfig) -> int:
+    """Expected number of tokens routed to one expert in a decode step.
+
+    With top-``k`` routing over ``E`` experts, each expert receives on average
+    ``batch * k / E`` tokens; the grouped GEMM still launches one GEMM per expert, so the
+    per-expert M is at least 1 whenever the batch is non-empty.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if not model.is_moe:
+        return batch_size
+    per_expert = batch_size * model.experts_per_token / model.num_experts
+    return max(1, math.ceil(per_expert))
+
+
+def decode_layer_gemms(model: ModelConfig, batch_size: int) -> LayerGemms:
+    """GEMM shapes of one decode step of one layer at ``batch_size`` concurrent sequences."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    qkv = GemmShape(batch_size, model.qkv_output_dim, model.hidden_size)
+    out_proj = GemmShape(batch_size, model.hidden_size, model.hidden_size)
+
+    if model.is_moe:
+        expert_m = moe_expert_batch(batch_size, model)
+        gate_up = [
+            GemmShape(expert_m, 2 * model.intermediate_size, model.hidden_size)
+            for _ in range(model.num_experts)
+        ]
+        down = [
+            GemmShape(expert_m, model.hidden_size, model.intermediate_size)
+            for _ in range(model.num_experts)
+        ]
+    else:
+        gate_up = [GemmShape(batch_size, 2 * model.intermediate_size, model.hidden_size)]
+        down = [GemmShape(batch_size, model.hidden_size, model.intermediate_size)]
+    return LayerGemms(qkv=qkv, out_proj=out_proj, gate_up=gate_up, down=down)
+
+
+def batch_sweep(
+    model: ModelConfig, batch_sizes: Sequence[int] = PAPER_BATCH_SIZES
+) -> Dict[int, LayerGemms]:
+    """Layer GEMM workloads for each batch size of a sweep."""
+    return {b: decode_layer_gemms(model, b) for b in batch_sizes}

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_weight(rng):
+    """A small (N, K) FP weight matrix with realistic magnitude."""
+    return rng.normal(0.0, 0.02, (128, 256))
+
+
+@pytest.fixture
+def medium_weight(rng):
+    """A weight matrix large enough to span several dual-MMA tiles and groups."""
+    return rng.normal(0.0, 0.02, (256, 512))
+
+
+@pytest.fixture
+def activations(rng):
+    return rng.normal(0.0, 1.0, (16, 256))

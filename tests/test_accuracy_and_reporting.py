@@ -1,0 +1,76 @@
+"""Tests for the accuracy study and the reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy import STANDARD_DISTRIBUTIONS, WeightDistribution, run_accuracy_study
+from repro.reporting import format_series, format_speedups, format_table
+
+
+class TestAccuracyStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_accuracy_study(n=128, k=256, batch=32, seed=1)
+
+    def test_all_schemes_and_distributions_covered(self, study):
+        schemes = {r.scheme for r in study.results}
+        distributions = {r.distribution for r in study.results}
+        assert schemes == {"lqq", "qserve", "rtn-int4"}
+        assert distributions == {d.name for d in STANDARD_DISTRIBUTIONS}
+        assert len(study.results) == 9
+
+    def test_lqq_matches_qserve_accuracy(self, study):
+        """The paper's accuracy claim: LQQ does not degrade fidelity relative to QServe."""
+        assert study.mean_output_rmse("lqq") <= study.mean_output_rmse("qserve") * 1.05
+
+    def test_errors_are_4bit_scale(self, study):
+        for result in study.results:
+            assert 0.01 < result.weight_error["relative_fro"] < 0.30
+            assert result.weight_error["snr_db"] > 10
+
+    def test_summary_rows(self, study):
+        rows = study.summary_rows()
+        assert len(rows) == len(study.results)
+        assert {"scheme", "distribution", "output_rel_err"} <= set(rows[0])
+
+    def test_custom_distribution(self):
+        custom = WeightDistribution("uniform", lambda rng, n, k: rng.uniform(-0.05, 0.05, (n, k)))
+        study = run_accuracy_study(n=64, k=128, distributions=[custom], seed=0)
+        assert {r.distribution for r in study.results} == {"uniform"}
+
+    def test_bad_sampler_shape_rejected(self):
+        bad = WeightDistribution("bad", lambda rng, n, k: rng.normal(size=(n, k + 1)))
+        with pytest.raises(ValueError):
+            run_accuracy_study(n=32, k=64, distributions=[bad])
+
+    def test_reproducible_with_seed(self):
+        a = run_accuracy_study(n=64, k=128, seed=3)
+        b = run_accuracy_study(n=64, k=128, seed=3)
+        assert a.mean_output_rmse("lqq") == b.mean_output_rmse("lqq")
+
+
+class TestReporting:
+    def test_format_table_basic(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 2.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.50" in text and "2.25" in text
+
+    def test_format_table_row_length_check(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series(self):
+        text = format_series("batch", [4, 8], {"fp16": [1.0, 2.0], "w4a8": [0.5, 0.75]})
+        assert "batch" in text and "fp16" in text and "w4a8" in text
+        assert "0.75" in text
+
+    def test_format_speedups(self):
+        text = format_speedups("fp16", {"fp16": 2.0, "liquid": 1.0})
+        assert "speedup vs fp16" in text
+        assert "2" in text  # liquid is 2x faster
+
+    def test_format_speedups_missing_baseline(self):
+        with pytest.raises(KeyError):
+            format_speedups("missing", {"a": 1.0})

@@ -1,0 +1,149 @@
+"""Tests for the register-level dequantization paths (repro.dequant).
+
+The central claims under test:
+
+* the LQQ path issues exactly 7 instructions per 8 elements and reproduces Equation 12
+  bit-exactly for every reachable (code, scale, offset) combination;
+* the QServe path reproduces its reference dequantization but costs an order of magnitude
+  more CUDA-core instructions (the Section 3.2 bottleneck);
+* the measured instruction counts are exactly the alphas the cost model consumes, and only
+  LQQ's alpha fits inside the Section 3.3 budget.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.costmodel import alpha_budget
+from repro.dequant import (
+    LQQ_ELEMENTS_PER_REGISTER,
+    LQQ_INSTRUCTIONS_PER_REGISTER,
+    lqq_alpha,
+    lqq_dequant_register,
+    lqq_dequant_registers,
+    measure_qserve_instructions,
+    qserve_alpha,
+    qserve_dequant_register,
+    registers_to_int8,
+    w4a16_alpha,
+    w4a16_dequant_register,
+)
+from repro.gpu import H100
+from repro.isa import InstructionStats
+from repro.layout import pack_u4_interleaved
+
+codes8 = hnp.arrays(np.uint8, shape=(1, 8), elements=st.integers(0, 15))
+
+
+def _int8_of(lo, hi):
+    return np.concatenate([
+        registers_to_int8(np.atleast_1d(lo)).reshape(-1),
+        registers_to_int8(np.atleast_1d(hi)).reshape(-1),
+    ])
+
+
+class TestLqqRegisterPath:
+    def test_instruction_count_is_seven(self):
+        stats = InstructionStats()
+        lqq_dequant_register(np.uint32(0), 1, 128, stats)
+        assert stats.total_instructions == LQQ_INSTRUCTIONS_PER_REGISTER == 7
+        assert stats.count("imad.u32") == 2
+        assert stats.count("xor.b32") == 2
+
+    def test_alpha(self):
+        assert lqq_alpha() == pytest.approx(7 / 8)
+
+    @given(codes8, st.integers(1, 16), st.integers(9, 247))
+    @settings(max_examples=200, deadline=None)
+    def test_bit_exact_equation12(self, codes, scale, offset):
+        """For every reachable (code, s, a): register path == Equation 12 == true INT8 value,
+        provided the Section-4 precondition q*s + a <= 255 holds."""
+        values = codes[0]
+        if int(values.max()) * scale + offset > 255:
+            return  # outside the proof's precondition (cannot arise from lqq_quantize)
+        reg = pack_u4_interleaved(codes)[0]
+        lo, hi = lqq_dequant_register(reg, scale, offset)
+        got = _int8_of(lo, hi)
+        expected = ((values.astype(np.int32) * scale + offset) ^ 0x80).astype(np.uint8).view(np.int8)
+        assert np.array_equal(got, expected)
+        # And reinterpreting as INT8 equals the mathematical dequantization q*s + (a - 128).
+        assert np.array_equal(got.astype(np.int32), values.astype(np.int32) * scale + (offset - 128))
+
+    def test_scale_and_offset_validated(self):
+        with pytest.raises(ValueError):
+            lqq_dequant_register(np.uint32(0), 0, 128)
+        with pytest.raises(ValueError):
+            lqq_dequant_register(np.uint32(0), 17, 128)
+        with pytest.raises(ValueError):
+            lqq_dequant_register(np.uint32(0), 4, 256)
+
+    def test_vectorized_multi_register(self, rng):
+        codes = rng.integers(0, 16, (6, 8)).astype(np.uint8)
+        regs = pack_u4_interleaved(codes)
+        scales = np.array([1, 2, 4, 8, 16, 3])
+        offsets = np.array([9, 50, 100, 128, 14, 60])
+        out = lqq_dequant_registers(regs, scales, offsets)
+        assert out.shape == (6, 2)
+        for i in range(6):
+            lo, hi = lqq_dequant_register(regs[i], int(scales[i]), int(offsets[i]))
+            assert out[i, 0] == lo and out[i, 1] == hi
+
+    def test_instruction_stream_groups_by_scale(self, rng):
+        """One instruction sequence per distinct (scale, offset) group, as a SIMT trace would."""
+        regs = pack_u4_interleaved(rng.integers(0, 16, (4, 8)).astype(np.uint8))
+        stats = InstructionStats()
+        lqq_dequant_registers(regs, np.array([2, 2, 3, 3]), np.array([100, 100, 100, 100]), stats)
+        assert stats.total_instructions == 2 * 7
+
+
+class TestQServeRegisterPath:
+    @given(codes8, st.integers(1, 16), st.integers(0, 15))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference(self, codes, scale, zero):
+        values = codes[0]
+        reg = pack_u4_interleaved(codes)[0]
+        lo, hi = qserve_dequant_register(reg, scale, zero)
+        got = _int8_of(lo, hi)
+        expected = (values.astype(np.int32) * scale - scale * zero).astype(np.int8)
+        assert np.array_equal(got, expected)
+
+    def test_is_an_order_of_magnitude_more_expensive_than_lqq(self):
+        assert measure_qserve_instructions() >= 30
+        assert qserve_alpha() / lqq_alpha() > 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            qserve_dequant_register(np.uint32(0), 0, 0)
+        with pytest.raises(ValueError):
+            qserve_dequant_register(np.uint32(0), 1, 16)
+
+
+class TestW4A16Path:
+    def test_numeric(self):
+        codes = np.arange(8, dtype=np.uint8)[None, :]
+        reg = pack_u4_interleaved(codes)[0]
+        out = w4a16_dequant_register(reg, scale_fp=0.5, zero_fp=-1.0)
+        assert np.allclose(np.sort(out.reshape(-1)), np.arange(8) * 0.5 - 1.0)
+
+    def test_alpha_cheap_but_nonzero(self):
+        assert 0.5 < w4a16_alpha() < 2.0
+
+
+class TestAlphaBudgets:
+    """Section 3.3: only LQQ's alpha fits under the overlap budget; QServe's does not leave
+    room for the auxiliary work the kernel must also issue."""
+
+    def test_lqq_fits_memory_bound_budget(self):
+        assert lqq_alpha() < alpha_budget(H100, "int4", "int8")
+
+    def test_lqq_fits_compute_bound_budget(self):
+        assert lqq_alpha() < alpha_budget(H100, "int4", "int8", batch_size=150)
+
+    def test_qserve_alpha_close_to_or_above_budget(self):
+        budget = alpha_budget(H100, "int4", "int8")
+        assert qserve_alpha() > 0.85 * budget
+
+    def test_headroom_ratio(self):
+        """LQQ uses less than a fifth of the budget, leaving CUDA cores free for addressing."""
+        assert lqq_alpha() / alpha_budget(H100, "int4", "int8") < 0.2

@@ -1,0 +1,86 @@
+"""Tests for the device / occupancy model (repro.gpu.device)."""
+
+import pytest
+
+from repro.gpu import Device, H800, ThreadBlockConfig, WarpGroupRole, get_gpu
+
+
+@pytest.fixture
+def liquidgemm_block():
+    """The paper's thread-block organisation: one Load WG plus two Compute WGs."""
+    return ThreadBlockConfig(
+        tile_m=128, tile_n=128, tile_k=64,
+        warp_group_roles=("load", "compute", "compute"),
+    )
+
+
+class TestThreadBlockConfig:
+    def test_roles_validated(self):
+        with pytest.raises(ValueError):
+            ThreadBlockConfig(64, 64, 64, warp_group_roles=("bogus",))
+
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            ThreadBlockConfig(0, 64, 64, warp_group_roles=("compute",))
+
+    def test_needs_a_warp_group(self):
+        with pytest.raises(ValueError):
+            ThreadBlockConfig(64, 64, 64, warp_group_roles=())
+
+    def test_thread_count(self, liquidgemm_block):
+        assert liquidgemm_block.num_warp_groups == 3
+        assert liquidgemm_block.num_threads(H800) == 384
+
+    def test_compute_warp_groups(self, liquidgemm_block):
+        assert liquidgemm_block.compute_warp_groups() == 2
+        excp = ThreadBlockConfig(64, 64, 64, warp_group_roles=("load", "dequant", "mma"))
+        assert excp.compute_warp_groups() == 1
+
+    def test_smem_bytes_4bit_vs_8bit(self, liquidgemm_block):
+        w4 = liquidgemm_block.smem_bytes("int4", "int8")
+        w8 = liquidgemm_block.smem_bytes("int8", "int8")
+        # Weight tile shrinks by 2x when weights go from 8 to 4 bits; activations unchanged.
+        weight_tile_bytes = 128 * 64
+        assert w8 - w4 == liquidgemm_block.smem_stage_count * weight_tile_bytes // 2
+
+    def test_stage_count_scales_smem(self):
+        one = ThreadBlockConfig(64, 64, 64, ("compute",), smem_stage_count=1)
+        two = ThreadBlockConfig(64, 64, 64, ("compute",), smem_stage_count=2)
+        assert two.smem_bytes("int8", "int8") == 2 * one.smem_bytes("int8", "int8")
+
+
+class TestDevice:
+    def test_construct_by_name_or_spec(self):
+        assert Device("h800").spec is get_gpu("h800")
+        assert Device(H800).spec is H800
+
+    def test_occupancy_feasible(self, liquidgemm_block):
+        result = Device("H800").occupancy(liquidgemm_block, "int4", "int8")
+        assert result.is_feasible
+        assert result.blocks_per_sm >= 1
+        assert result.limited_by in {"smem", "registers", "threads", "hardware"}
+
+    def test_occupancy_smem_limited_for_huge_tiles(self):
+        block = ThreadBlockConfig(256, 256, 256, ("load", "compute"), smem_stage_count=4)
+        result = Device("H800").occupancy(block, "int8", "int8")
+        assert result.blocks_per_sm == 0
+        assert result.limited_by == "smem"
+        assert not result.is_feasible
+
+    def test_block_level_throughput_scales_with_occupancy(self):
+        dev = Device("H800")
+        assert dev.block_level_bandwidth(2) == pytest.approx(dev.block_level_bandwidth(1) / 2)
+        assert dev.block_level_tensor_ops("int8", 2) == pytest.approx(
+            dev.block_level_tensor_ops("int8", 1) / 2
+        )
+        assert dev.block_level_cuda_ops(2) == pytest.approx(dev.block_level_cuda_ops(1) / 2)
+
+    def test_concurrent_blocks(self):
+        dev = Device("H800")
+        assert dev.concurrent_blocks(1) == 132
+        assert dev.concurrent_blocks(2) == 264
+
+    def test_weight_memory_feasible(self):
+        dev = Device("H800")
+        assert dev.weight_memory_feasible(70 * 2**30, 5 * 2**30)
+        assert not dev.weight_memory_feasible(70 * 2**30, 20 * 2**30)

@@ -1,0 +1,210 @@
+"""Tests for the PTX-level instruction emulation (repro.isa)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    InstructionStats,
+    add_u32,
+    and_b32,
+    bfe_u32,
+    bfi_b32,
+    broadcast_byte,
+    imad_u32,
+    lop3_b32,
+    mul_lo_u32,
+    not_b32,
+    or_b32,
+    pack_bytes,
+    prmt_b32,
+    shl_b32,
+    shr_b32,
+    sub_u32,
+    to_u32,
+    unpack_bytes,
+    vadd4_lowered,
+    vsub4_lowered,
+    xor_b32,
+)
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+u8 = st.integers(min_value=0, max_value=255)
+
+
+class TestBasicOps:
+    @given(u32, u32)
+    def test_and_or_xor_match_python(self, a, b):
+        assert int(and_b32(a, b)) == (a & b)
+        assert int(or_b32(a, b)) == (a | b)
+        assert int(xor_b32(a, b)) == (a ^ b)
+
+    @given(u32)
+    def test_not(self, a):
+        assert int(not_b32(a)) == (~a) & 0xFFFFFFFF
+
+    @given(u32, st.integers(min_value=0, max_value=31))
+    def test_shifts(self, a, s):
+        assert int(shr_b32(a, s)) == (a >> s)
+        assert int(shl_b32(a, s)) == (a << s) & 0xFFFFFFFF
+
+    def test_shift_out_of_range(self):
+        with pytest.raises(ValueError):
+            shr_b32(1, 32)
+        with pytest.raises(ValueError):
+            shl_b32(1, -1)
+
+    @given(u32, u32)
+    def test_add_sub_wrap(self, a, b):
+        assert int(add_u32(a, b)) == (a + b) & 0xFFFFFFFF
+        assert int(sub_u32(a, b)) == (a - b) & 0xFFFFFFFF
+
+    @given(u32, u32)
+    def test_mul_lo(self, a, b):
+        assert int(mul_lo_u32(a, b)) == (a * b) & 0xFFFFFFFF
+
+    @given(u32, u32, u32)
+    def test_imad(self, a, b, c):
+        assert int(imad_u32(a, b, c)) == (a * b + c) & 0xFFFFFFFF
+
+    def test_to_u32_rejects_floats(self):
+        with pytest.raises(TypeError):
+            to_u32(np.array([1.5]))
+
+    def test_vectorized_over_arrays(self):
+        a = np.array([1, 2, 3], dtype=np.uint32)
+        assert np.array_equal(add_u32(a, 1), np.array([2, 3, 4], dtype=np.uint32))
+
+
+class TestByteHelpers:
+    @given(u8, u8, u8, u8)
+    def test_pack_unpack_roundtrip(self, b0, b1, b2, b3):
+        packed = pack_bytes(b0, b1, b2, b3)
+        unpacked = unpack_bytes(packed)
+        assert [int(x) for x in unpacked] == [b0, b1, b2, b3]
+
+    @given(u8)
+    def test_broadcast_byte(self, b):
+        assert broadcast_byte(b) == b * 0x01010101
+
+    def test_broadcast_byte_range(self):
+        with pytest.raises(ValueError):
+            broadcast_byte(256)
+
+
+class TestBitfieldOps:
+    @given(u32, st.integers(0, 24), st.integers(1, 8))
+    def test_bfe(self, a, pos, length):
+        assert int(bfe_u32(a, pos, length)) == (a >> pos) & ((1 << length) - 1)
+
+    @given(u32, u32, st.integers(0, 24), st.integers(1, 8))
+    def test_bfi(self, src, dst, pos, length):
+        mask = ((1 << length) - 1) << pos
+        expected = (dst & ~mask) | ((src << pos) & mask)
+        assert int(bfi_b32(src, dst, pos, length)) == expected & 0xFFFFFFFF
+
+    def test_invalid_field(self):
+        with pytest.raises(ValueError):
+            bfe_u32(0, 30, 8)
+
+
+class TestLop3:
+    @given(u32, u32, u32)
+    def test_lop3_and_or(self, a, b, c):
+        # immLut 0xEA encodes (a & b) | c.
+        assert int(lop3_b32(a, b, c, 0xEA)) == ((a & b) | c) & 0xFFFFFFFF
+
+    @given(u32, u32, u32)
+    def test_lop3_xor3(self, a, b, c):
+        # immLut 0x96 encodes a ^ b ^ c.
+        assert int(lop3_b32(a, b, c, 0x96)) == (a ^ b ^ c) & 0xFFFFFFFF
+
+    def test_lut_range(self):
+        with pytest.raises(ValueError):
+            lop3_b32(0, 0, 0, 0x100)
+
+
+class TestPrmt:
+    def test_identity_selector(self):
+        a = 0x03020100
+        b = 0x07060504
+        assert int(prmt_b32(a, b, 0x3210)) == a
+        assert int(prmt_b32(a, b, 0x7654)) == b
+
+    def test_interleave(self):
+        a = 0x03020100
+        b = 0x07060504
+        assert int(prmt_b32(a, b, 0x5140)) == 0x05010400
+
+    def test_selector_range(self):
+        with pytest.raises(ValueError):
+            prmt_b32(0, 0, 0x10000)
+
+
+class TestSimdWithinRegister:
+    @given(st.lists(u8, min_size=4, max_size=4), st.lists(u8, min_size=4, max_size=4))
+    def test_vadd4_per_byte(self, xs, ys):
+        a = pack_bytes(*xs)
+        b = pack_bytes(*ys)
+        result = unpack_bytes(vadd4_lowered(a, b))
+        assert [int(v) for v in result] == [(x + y) & 0xFF for x, y in zip(xs, ys)]
+
+    @given(st.lists(u8, min_size=4, max_size=4), st.lists(u8, min_size=4, max_size=4))
+    def test_vsub4_per_byte(self, xs, ys):
+        a = pack_bytes(*xs)
+        b = pack_bytes(*ys)
+        result = unpack_bytes(vsub4_lowered(a, b))
+        assert [int(v) for v in result] == [(x - y) & 0xFF for x, y in zip(xs, ys)]
+
+    def test_vadd4_is_expensive(self):
+        """The lowering must cost an order of magnitude more than a native op (Section 3.2)."""
+        stats = InstructionStats()
+        vadd4_lowered(np.uint32(0), np.uint32(0), stats)
+        assert stats.total_instructions >= 12
+
+    def test_native_imad_is_single_issue(self):
+        stats = InstructionStats()
+        imad_u32(np.uint32(1), np.uint32(2), np.uint32(3), stats)
+        assert stats.total_instructions == 1
+
+
+class TestInstructionStats:
+    def test_record_and_count(self):
+        stats = InstructionStats()
+        stats.record("imad.u32", count=3)
+        stats.record("xor.b32")
+        assert stats.count("imad.u32") == 3
+        assert stats.total_instructions == 4
+        assert stats.alu_issue_slots() == 4
+
+    def test_per_element(self):
+        stats = InstructionStats()
+        stats.record("imad.u32", count=7)
+        assert stats.per_element(8) == pytest.approx(7 / 8)
+        with pytest.raises(ValueError):
+            stats.per_element(0)
+
+    def test_units_tracked_separately(self):
+        stats = InstructionStats()
+        stats.record("lds.128", unit="ldst")
+        stats.record("imad.u32", unit="alu")
+        assert stats.alu_issue_slots() == 1
+        assert stats.issue_slots_by_unit["ldst"] == 1
+
+    def test_merged_and_reset(self):
+        a, b = InstructionStats(), InstructionStats()
+        a.record("xor.b32")
+        b.record("xor.b32", count=2)
+        merged = a.merged(b)
+        assert merged.count("xor.b32") == 3
+        a.reset()
+        assert a.total_instructions == 0
+
+    def test_summary_mentions_opcodes(self):
+        stats = InstructionStats()
+        stats.record("imad.u32")
+        assert "imad.u32" in stats.summary()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionStats().record("x", count=-1)

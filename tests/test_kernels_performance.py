@@ -1,0 +1,154 @@
+"""Performance-model tests for the kernels: the orderings and crossovers the paper reports."""
+
+import pytest
+
+from repro.costmodel import GemmShape
+from repro.kernels import ablation_kernels, default_comparison_set, get_kernel
+
+#: LLaMA2-7B FFN gate/up GEMM — the shape the paper's motivation study profiles.
+FFN_SHAPE_7B = dict(n=11008, k=4096)
+
+
+def latency(kernel_name, m, device="H800", **kwargs):
+    shape = GemmShape(m, FFN_SHAPE_7B["n"], FFN_SHAPE_7B["k"])
+    return get_kernel(kernel_name).estimate(shape, device, **kwargs).latency_s
+
+
+class TestKernelReports:
+    def test_report_fields(self):
+        report = get_kernel("liquidgemm").estimate(GemmShape(16, 4096, 4096))
+        assert report.kernel == "liquidgemm"
+        assert report.gpu == "H800"
+        assert report.latency_s > 0
+        assert report.latency_us == pytest.approx(report.latency_s * 1e6)
+        assert report.tops > 0
+        assert report.weight_bytes == pytest.approx(4096 * 4096 * 0.5)
+
+    def test_alpha_recorded(self):
+        assert get_kernel("liquidgemm").estimate(GemmShape(8, 512, 512)).alpha == pytest.approx(0.875)
+        assert get_kernel("qserve-w4a8").estimate(GemmShape(8, 512, 512)).alpha > 4
+
+    def test_pipeline_sim_report(self):
+        report = get_kernel("liquidgemm").estimate(GemmShape(64, 4096, 4096), use_pipeline_sim=True)
+        assert report.pipeline is not None
+        assert report.pipeline.kind == "imfp"
+
+
+class TestMemoryBoundRegime:
+    """Small batch (Figures 5/12 left side): 4-bit kernels win on loaded bytes."""
+
+    @pytest.mark.parametrize("m", [4, 8, 16, 32])
+    def test_liquidgemm_beats_w8a8_and_fp16(self, m):
+        assert latency("liquidgemm", m) < latency("w8a8", m)
+        assert latency("liquidgemm", m) < latency("fp16", m)
+
+    @pytest.mark.parametrize("m", [4, 16])
+    def test_w8a8_beats_fp16(self, m):
+        assert latency("w8a8", m) < latency("fp16", m)
+
+    @pytest.mark.parametrize("m", [4, 16])
+    def test_qserve_close_to_liquidgemm_when_memory_bound(self, m):
+        """Figure 12: at small batch QServe and LiquidGEMM are comparable."""
+        assert latency("qserve-w4a8", m) < 1.35 * latency("liquidgemm", m)
+
+    def test_liquidgemm_memory_bound_at_small_batch(self):
+        report = get_kernel("liquidgemm").estimate(GemmShape(8, **FFN_SHAPE_7B))
+        assert report.breakdown.limited_by == "memory"
+
+
+class TestComputeBoundRegime:
+    """Large batch (Figures 5/12 right side): QServe degrades, LiquidGEMM stays ahead."""
+
+    def test_qserve_degrades_at_large_batch(self):
+        """The paper's headline kernel result: 2-3x speedup over QServe at batch 256."""
+        speedup = latency("qserve-w4a8", 256) / latency("liquidgemm", 256)
+        assert speedup > 1.8
+
+    def test_qserve_speedup_grows_with_batch(self):
+        speedups = [latency("qserve-w4a8", m) / latency("liquidgemm", m) for m in (16, 64, 256)]
+        assert speedups == sorted(speedups)
+
+    def test_liquidgemm_beats_trt_kernels_at_large_batch(self):
+        """1.1-1.6x over W8A8/FP8 and more over W4A16 (Figure 12 right side)."""
+        for baseline in ("w8a8", "fp8", "w4a16", "fp16"):
+            ratio = latency(baseline, 256) / latency("liquidgemm", 256)
+            assert ratio > 1.05, f"{baseline} should be slower at batch 256"
+
+    def test_w4a16_loses_to_w8a8_when_compute_bound(self):
+        """FP16 Tensor-Core roof: weight-only 4-bit falls behind once compute dominates."""
+        assert latency("w4a16", 256) > latency("w8a8", 256)
+
+    def test_qserve_slower_than_fp16_at_large_batch(self):
+        """The motivation anomaly (Figure 5): existing W4A8 is no faster than FP16 at 256."""
+        assert latency("qserve-w4a8", 256) > 0.85 * latency("fp16", 256)
+
+    def test_liquidgemm_dequant_is_hidden(self):
+        report = get_kernel("liquidgemm").estimate(GemmShape(256, **FFN_SHAPE_7B))
+        bd = report.breakdown
+        assert bd.t_dequant < bd.t_mma
+        assert bd.limited_by in ("tensor_cores", "memory")
+
+    def test_qserve_limited_by_cuda_cores(self):
+        report = get_kernel("qserve-w4a8").estimate(GemmShape(256, **FFN_SHAPE_7B))
+        assert report.breakdown.limited_by == "cuda_cores"
+
+
+class TestAblation:
+    """Figure 13's qualitative structure."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for m in (4, 256):
+            shape = GemmShape(m, **FFN_SHAPE_7B)
+            out[m] = {
+                name: kernel.estimate(shape, use_pipeline_sim=True).latency_s
+                for name, kernel in ablation_kernels().items()
+            }
+        return out
+
+    def test_lqq_alone_helps_at_large_batch(self, results):
+        assert results[256]["baseline"] / results[256]["lqq"] > 1.15
+
+    def test_lqq_alone_neutral_at_small_batch(self, results):
+        ratio = results[4]["baseline"] / results[4]["lqq"]
+        assert 0.95 < ratio < 1.15
+
+    def test_excp_regresses_at_small_batch(self, results):
+        assert results[4]["excp"] > results[4]["baseline"]
+
+    def test_excp_helps_at_large_batch(self, results):
+        assert results[256]["baseline"] / results[256]["excp"] > 1.15
+
+    def test_imfp_best_everywhere(self, results):
+        for m in (4, 256):
+            for other in ("baseline", "lqq", "excp"):
+                assert results[m]["imfp"] <= results[m][other] * 1.01
+
+    def test_grouped_gemm_benefit(self):
+        """ImFP's persistent grouped execution benefits MoE-style grouped GEMMs more than the
+        serial baseline does (the paper's explanation of the Mixtral ablation)."""
+        shape = GemmShape(16, 4096, 4096)
+        group = [shape] * 8
+        kernels = ablation_kernels()
+        serial_single = kernels["lqq"].estimate(shape, use_pipeline_sim=True).latency_s
+        serial_group = kernels["lqq"].estimate(shape, use_pipeline_sim=True, group_sizes=group).latency_s
+        imfp_single = kernels["imfp"].estimate(shape, use_pipeline_sim=True).latency_s
+        imfp_group = kernels["imfp"].estimate(shape, use_pipeline_sim=True, group_sizes=group).latency_s
+        serial_overhead = serial_group / (8 * serial_single)
+        imfp_overhead = imfp_group / (8 * imfp_single)
+        assert imfp_overhead <= serial_overhead
+
+
+class TestDeviceSensitivity:
+    def test_a100_slower_than_h800(self):
+        shape = GemmShape(128, 8192, 4096)
+        kernel = get_kernel("liquidgemm")
+        assert kernel.estimate(shape, "A100").latency_s > kernel.estimate(shape, "H800").latency_s
+
+    def test_group_estimate_additivity(self):
+        shape = GemmShape(32, 4096, 4096)
+        kernel = get_kernel("liquidgemm")
+        single = kernel.estimate(shape).latency_s
+        grouped = kernel.estimate(shape, group_sizes=[shape, shape]).latency_s
+        assert grouped == pytest.approx(2 * single, rel=0.01)

@@ -1,0 +1,92 @@
+"""Tests for nibble/byte packing (repro.layout.packing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.layout import (
+    INTERLEAVED_NIBBLE_ORDER,
+    pack_u4_interleaved,
+    pack_u4_sequential,
+    pack_u8_to_u32,
+    unpack_u32_to_u8,
+    unpack_u4_interleaved,
+    unpack_u4_sequential,
+)
+
+u4_groups = hnp.arrays(np.uint8, shape=st.tuples(st.integers(1, 16), st.just(8)),
+                       elements=st.integers(0, 15))
+
+
+class TestSequentialPacking:
+    @given(u4_groups)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, values):
+        assert np.array_equal(unpack_u4_sequential(pack_u4_sequential(values)), values)
+
+    def test_known_value(self):
+        values = np.arange(8, dtype=np.uint8)[None, :]
+        assert pack_u4_sequential(values)[0] == 0x76543210
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_u4_sequential(np.full((1, 8), 16, dtype=np.int32))
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            pack_u4_sequential(np.zeros((1, 7), dtype=np.uint8))
+
+
+class TestInterleavedPacking:
+    @given(u4_groups)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, values):
+        assert np.array_equal(unpack_u4_interleaved(pack_u4_interleaved(values)), values)
+
+    def test_order_is_a_permutation(self):
+        assert sorted(INTERLEAVED_NIBBLE_ORDER) == list(range(8))
+
+    def test_low_nibbles_hold_first_four_elements(self):
+        """Figure 8: AND 0x0F0F0F0F must expose w0..w3, one per byte."""
+        values = np.arange(8, dtype=np.uint8)[None, :]
+        reg = int(pack_u4_interleaved(values)[0])
+        low = reg & 0x0F0F0F0F
+        assert [(low >> (8 * i)) & 0xFF for i in range(4)] == [0, 1, 2, 3]
+
+    def test_high_nibbles_hold_last_four_elements(self):
+        """Figure 8: (AND 0xF0F0F0F0) >> 4 must expose w4..w7, one per byte."""
+        values = np.arange(8, dtype=np.uint8)[None, :]
+        reg = int(pack_u4_interleaved(values)[0])
+        high = (reg & 0xF0F0F0F0) >> 4
+        assert [(high >> (8 * i)) & 0xFF for i in range(4)] == [4, 5, 6, 7]
+
+    @given(u4_groups)
+    @settings(max_examples=30, deadline=None)
+    def test_differs_from_sequential_in_general(self, values):
+        seq = pack_u4_sequential(values)
+        inter = pack_u4_interleaved(values)
+        # They agree only when the permuted nibbles happen to coincide; for the identity
+        # pattern 0..7 they must differ.
+        identity = np.arange(8, dtype=np.uint8)[None, :]
+        assert pack_u4_sequential(identity)[0] != pack_u4_interleaved(identity)[0]
+        assert seq.shape == inter.shape
+
+
+class TestBytePacking:
+    @given(hnp.arrays(np.uint8, shape=st.tuples(st.integers(1, 8), st.just(4)),
+                      elements=st.integers(0, 255)))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, values):
+        assert np.array_equal(unpack_u32_to_u8(pack_u8_to_u32(values)), values)
+
+    def test_known_value(self):
+        assert pack_u8_to_u32(np.array([[0x11, 0x22, 0x33, 0x44]]))[0] == 0x44332211
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_u8_to_u32(np.full((1, 4), 256, dtype=np.int32))
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            pack_u8_to_u32(np.zeros((1, 3), dtype=np.uint8))

@@ -1,0 +1,162 @@
+"""Tests for the generic quantization primitives (repro.quant.base)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import (
+    INT8_RANGE,
+    PROTECTIVE_INT8,
+    UINT4_RANGE,
+    QuantGranularity,
+    dequantize,
+    group_reshape,
+    group_unreshape,
+    int_range,
+    quantization_error,
+    quantize,
+    quantize_tensor,
+)
+
+
+class TestIntRange:
+    def test_int8(self):
+        assert INT8_RANGE.lo == -128 and INT8_RANGE.hi == 127
+
+    def test_uint4(self):
+        assert UINT4_RANGE.lo == 0 and UINT4_RANGE.hi == 15
+        assert UINT4_RANGE.span == 15
+
+    def test_protective_int8(self):
+        assert PROTECTIVE_INT8.lo == -119 and PROTECTIVE_INT8.hi == 119
+
+    def test_protective_construction(self):
+        r = int_range(8, signed=True, protective=9)
+        assert (r.lo, r.hi) == (-119, 119)
+
+    def test_protective_unsigned(self):
+        r = int_range(4, signed=False, protective=1)
+        assert (r.lo, r.hi) == (0, 14)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            int_range(0, signed=True)
+        with pytest.raises(ValueError):
+            int_range(33, signed=False)
+
+    def test_protective_too_large(self):
+        with pytest.raises(ValueError):
+            int_range(2, signed=True, protective=5)
+
+    def test_contains_and_clip(self):
+        assert UINT4_RANGE.contains(np.array([0, 15]))
+        assert not UINT4_RANGE.contains(np.array([16]))
+        assert np.array_equal(UINT4_RANGE.clip(np.array([-1, 20])), np.array([0, 15]))
+        assert UINT4_RANGE.contains(np.array([]))
+
+
+class TestGroupReshape:
+    def test_roundtrip(self, rng):
+        w = rng.normal(size=(4, 32))
+        assert np.array_equal(group_unreshape(group_reshape(w, 8)), w)
+
+    def test_bad_group_size(self, rng):
+        with pytest.raises(ValueError):
+            group_reshape(rng.normal(size=(4, 30)), 8)
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            group_reshape(rng.normal(size=(4,)), 2)
+        with pytest.raises(ValueError):
+            group_unreshape(rng.normal(size=(4, 8)))
+
+
+class TestQuantizeTensor:
+    @pytest.mark.parametrize("bits", [4, 8])
+    @pytest.mark.parametrize("symmetric", [True, False])
+    def test_roundtrip_error_bound(self, rng, bits, symmetric):
+        """RTN reconstruction error is bounded by half a quantization step per element."""
+        w = rng.normal(0, 1.0, (32, 64))
+        codes, params = quantize_tensor(w, bits=bits, symmetric=symmetric,
+                                        granularity=QuantGranularity.PER_CHANNEL)
+        w_hat = dequantize(codes, params)
+        max_step = params.scale.max()
+        assert np.max(np.abs(w - w_hat)) <= max_step / 2 + 1e-9
+
+    def test_per_tensor_single_scale(self, rng):
+        w = rng.normal(size=(8, 8))
+        _, params = quantize_tensor(w, granularity=QuantGranularity.PER_TENSOR)
+        assert params.scale.size == 1
+
+    def test_per_channel_scale_shape(self, rng):
+        w = rng.normal(size=(8, 16))
+        _, params = quantize_tensor(w, granularity=QuantGranularity.PER_CHANNEL)
+        assert params.scale.shape == (8, 1)
+
+    def test_per_group_scale_shape(self, rng):
+        w = rng.normal(size=(8, 16))
+        codes, params = quantize_tensor(w, granularity=QuantGranularity.PER_GROUP, group_size=4)
+        assert params.scale.shape == (8, 4, 1)
+        assert codes.shape == w.shape
+
+    def test_per_group_requires_group_size(self, rng):
+        with pytest.raises(ValueError):
+            quantize_tensor(rng.normal(size=(8, 16)), granularity=QuantGranularity.PER_GROUP)
+
+    def test_symmetric_zero_point_is_zero(self, rng):
+        _, params = quantize_tensor(rng.normal(size=(8, 8)), symmetric=True)
+        assert params.is_symmetric
+
+    def test_asymmetric_uses_full_range(self):
+        w = np.linspace(0.0, 1.0, 64).reshape(4, 16)
+        codes, params = quantize_tensor(w, bits=4, symmetric=False, signed=False)
+        assert codes.min() == 0 and codes.max() == 15
+
+    def test_codes_within_range(self, rng):
+        codes, params = quantize_tensor(rng.normal(size=(16, 16)), bits=4, symmetric=False,
+                                        signed=False)
+        assert params.qrange.contains(codes)
+
+    def test_constant_tensor(self):
+        w = np.zeros((4, 8))
+        codes, params = quantize_tensor(w, bits=8)
+        assert np.allclose(dequantize(codes, params), 0.0)
+
+    def test_unknown_granularity(self, rng):
+        with pytest.raises(ValueError):
+            quantize_tensor(rng.normal(size=(4, 4)), granularity="per_banana")
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            shape=st.tuples(st.integers(1, 8), st.integers(1, 16)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip_bound(self, w):
+        codes, params = quantize_tensor(w, bits=8, symmetric=False, signed=False,
+                                        granularity=QuantGranularity.PER_CHANNEL)
+        w_hat = dequantize(codes, params)
+        step = np.broadcast_to(params.scale, w.shape)
+        assert np.all(np.abs(w - w_hat) <= step / 2 + 1e-6)
+
+
+class TestQuantizationError:
+    def test_zero_error(self, rng):
+        w = rng.normal(size=(4, 4))
+        err = quantization_error(w, w)
+        assert err["mse"] == 0.0 and err["max_abs"] == 0.0
+        assert err["snr_db"] == float("inf")
+
+    def test_known_error(self):
+        w = np.ones((2, 2))
+        err = quantization_error(w, w + 0.5)
+        assert err["mse"] == pytest.approx(0.25)
+        assert err["rmse"] == pytest.approx(0.5)
+        assert err["max_abs"] == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            quantization_error(np.ones((2, 2)), np.ones((2, 3)))

@@ -1,0 +1,80 @@
+"""Tests for the QServe-style progressive quantization baseline (repro.quant.progressive)."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    QServeConfig,
+    qserve_dequantize_fp,
+    qserve_dequantize_int8,
+    qserve_quantize,
+    quantization_error,
+)
+from repro.quant.progressive import qserve_roundtrip_error
+
+
+class TestQServeConfig:
+    def test_defaults(self):
+        cfg = QServeConfig()
+        assert cfg.group_size == 128 and cfg.protective_bound == 119
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QServeConfig(group_size=-1)
+
+
+class TestQServeQuantize:
+    def test_shapes(self, medium_weight):
+        qw = qserve_quantize(medium_weight)
+        n, k = medium_weight.shape
+        assert qw.q_u4.shape == (n, k)
+        assert qw.scale_i8.shape == (n, k // 128)
+        assert qw.zero_u4.shape == (n, k // 128)
+        assert qw.num_groups == k // 128
+
+    def test_codes_and_zero_in_uint4(self, medium_weight):
+        qw = qserve_quantize(medium_weight)
+        assert qw.q_u4.min() >= 0 and qw.q_u4.max() <= 15
+        assert qw.zero_u4.min() >= 0 and qw.zero_u4.max() <= 15
+
+    def test_group_size_must_divide_k(self, rng):
+        with pytest.raises(ValueError):
+            qserve_quantize(rng.normal(size=(8, 100)))
+
+    def test_memory_bytes(self, medium_weight):
+        qw = qserve_quantize(medium_weight)
+        assert 0.5 <= qw.memory_bytes() / medium_weight.size < 0.55
+
+
+class TestQServeDequantize:
+    def test_int8_range(self, medium_weight):
+        """With the protective first level the dequantized INT8 never saturates the clip."""
+        qw = qserve_quantize(medium_weight)
+        q = qserve_dequantize_int8(qw)
+        assert q.min() >= -128 and q.max() <= 127
+
+    def test_roundtrip_error(self, medium_weight):
+        err = qserve_roundtrip_error(medium_weight)
+        assert err["relative_fro"] < 0.15
+
+    def test_comparable_to_lqq(self, medium_weight):
+        """The paper's accuracy claim: LQQ matches QServe's quantization fidelity."""
+        from repro.quant import LqqConfig, lqq_dequantize_fp, lqq_quantize
+
+        qserve_err = quantization_error(
+            medium_weight, qserve_dequantize_fp(qserve_quantize(medium_weight, QServeConfig(group_size=64)))
+        )
+        lqq_err = quantization_error(
+            medium_weight, lqq_dequantize_fp(lqq_quantize(medium_weight, LqqConfig(group_size=64)))
+        )
+        assert lqq_err["relative_fro"] <= qserve_err["relative_fro"] * 1.10
+
+    def test_subtraction_after_multiplication_identity(self, rng):
+        """q*s - s*z must equal (q - z)*s exactly in integers (the QServe reformulation)."""
+        qw = qserve_quantize(rng.normal(0, 0.02, (32, 128)))
+        g = qw.config.group_size
+        scale = np.repeat(qw.scale_i8.astype(np.int64), g, axis=1)
+        zero = np.repeat(qw.zero_u4.astype(np.int64), g, axis=1)
+        a = qw.q_u4.astype(np.int64) * scale - scale * zero
+        b = (qw.q_u4.astype(np.int64) - zero) * scale
+        assert np.array_equal(a, b)

@@ -1,0 +1,97 @@
+"""Tests for SmoothQuant smoothing and the offline grid search (repro.quant.smoothquant)."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    apply_smoothing,
+    compute_smooth_scale,
+    grid_search_alpha,
+    lqq_quantize,
+    smooth_and_quantize,
+)
+
+
+@pytest.fixture
+def calibration(rng):
+    k = 128
+    w = rng.normal(0, 0.02, (64, k))
+    x = rng.normal(0, 1.0, (32, k))
+    # Inject activation outliers in a few channels (the SmoothQuant motivation).
+    outliers = rng.choice(k, size=4, replace=False)
+    x[:, outliers] *= 30.0
+    return x, w
+
+
+class TestSmoothScale:
+    def test_shape_and_positivity(self, calibration):
+        x, w = calibration
+        scale = compute_smooth_scale(np.abs(x).max(axis=0), np.abs(w).max(axis=0), alpha=0.5)
+        assert scale.shape == (x.shape[1],)
+        assert np.all(scale > 0)
+
+    def test_alpha_zero_and_one(self, calibration):
+        x, w = calibration
+        a_stat, w_stat = np.abs(x).max(axis=0), np.abs(w).max(axis=0)
+        assert np.allclose(compute_smooth_scale(a_stat, w_stat, 0.0), 1.0 / w_stat, rtol=1e-6)
+        assert np.allclose(compute_smooth_scale(a_stat, w_stat, 1.0), a_stat, rtol=1e-6)
+
+    def test_alpha_out_of_range(self, calibration):
+        x, w = calibration
+        with pytest.raises(ValueError):
+            compute_smooth_scale(np.abs(x).max(axis=0), np.abs(w).max(axis=0), alpha=1.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            compute_smooth_scale(np.ones(4), np.ones(5))
+
+
+class TestApplySmoothing:
+    def test_output_preserved_exactly(self, calibration):
+        """The transform is a mathematical identity: (X/s)(W*s)^T == X W^T."""
+        x, w = calibration
+        scale = compute_smooth_scale(np.abs(x).max(axis=0), np.abs(w).max(axis=0))
+        x_s, w_s = apply_smoothing(x, w, scale)
+        assert np.allclose(x_s @ w_s.T, x @ w.T, rtol=1e-10)
+
+    def test_outliers_migrated(self, calibration):
+        x, w = calibration
+        scale = compute_smooth_scale(np.abs(x).max(axis=0), np.abs(w).max(axis=0), alpha=0.5)
+        x_s, _ = apply_smoothing(x, w, scale)
+        # Smoothing must reduce the activation dynamic range (max / median of channel maxima).
+        before = np.abs(x).max(axis=0)
+        after = np.abs(x_s).max(axis=0)
+        assert after.max() / np.median(after) < before.max() / np.median(before)
+
+    def test_dimension_check(self, calibration):
+        x, w = calibration
+        with pytest.raises(ValueError):
+            apply_smoothing(x, w, np.ones(x.shape[1] + 1))
+
+
+class TestGridSearch:
+    def test_returns_best_alpha(self, calibration):
+        x, w = calibration
+        result = grid_search_alpha(x, w, alphas=[0.1, 0.5, 0.9])
+        assert result.alpha in (0.1, 0.5, 0.9)
+        assert result.combined_mse >= 0
+        assert result.smooth_scale.shape == (x.shape[1],)
+
+    def test_smoothing_beats_no_smoothing_with_outliers(self, calibration):
+        """With strong activation outliers the searched smoothing must reduce quantized-output
+        error versus alpha=0 (which leaves activations untouched up to a per-channel weight
+        rescale)."""
+        x, w = calibration
+        searched = grid_search_alpha(x, w, alphas=[0.3, 0.5, 0.7])
+        baseline = grid_search_alpha(x, w, alphas=[0.0])
+        assert searched.combined_mse <= baseline.combined_mse
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            grid_search_alpha(rng.normal(size=(4, 8)), rng.normal(size=(4, 9)))
+
+    def test_smooth_and_quantize_pipeline(self, calibration):
+        x, w = calibration
+        qw, result = smooth_and_quantize(x, w, lqq_quantize, alphas=[0.5])
+        assert qw.q_u4.shape == w.shape
+        assert result.alpha == 0.5

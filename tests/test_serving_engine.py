@@ -1,0 +1,218 @@
+"""Tests for the attention cost model, serving systems, engine and scheduler."""
+
+import pytest
+
+from repro.gpu import H800
+from repro.serving import (
+    ContinuousBatchingScheduler,
+    Request,
+    ServingEngine,
+    TABLE1_SYSTEMS,
+    decode_attention_cost,
+    get_model,
+    get_system,
+    list_systems,
+    prefill_attention_cost,
+)
+
+
+class TestAttentionCost:
+    def test_kv_read_dominates_decode(self):
+        cost = decode_attention_cost(get_model("llama2-7b"), H800, 64, 1024, 1.0)
+        assert cost.kv_read > cost.compute
+        assert cost.kv_read > cost.kv_write
+        assert cost.total > 0
+
+    def test_linear_in_batch_and_context(self):
+        model = get_model("llama2-7b")
+        base = decode_attention_cost(model, H800, 16, 512, 1.0).kv_read
+        assert decode_attention_cost(model, H800, 32, 512, 1.0).kv_read == pytest.approx(2 * base)
+        assert decode_attention_cost(model, H800, 16, 1024, 1.0).kv_read == pytest.approx(2 * base)
+
+    def test_kv_precision_scales_read_time(self):
+        model = get_model("llama2-7b")
+        int8 = decode_attention_cost(model, H800, 16, 512, 1.0).kv_read
+        int4 = decode_attention_cost(model, H800, 16, 512, 0.5).kv_read
+        fp16 = decode_attention_cost(model, H800, 16, 512, 2.0).kv_read
+        assert int4 == pytest.approx(int8 / 2) and fp16 == pytest.approx(2 * int8)
+
+    def test_gqa_reduces_attention_cost(self):
+        mha = decode_attention_cost(get_model("llama2-7b"), H800, 16, 1024, 1.0).total
+        gqa = decode_attention_cost(get_model("llama3-8b"), H800, 16, 1024, 1.0).total
+        assert gqa < mha / 2
+
+    def test_attention_efficiency(self):
+        model = get_model("llama2-7b")
+        full = decode_attention_cost(model, H800, 16, 512, 1.0, attention_efficiency=1.0)
+        half = decode_attention_cost(model, H800, 16, 512, 1.0, attention_efficiency=0.5)
+        assert half.kv_read == pytest.approx(2 * full.kv_read)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            decode_attention_cost(get_model("llama2-7b"), H800, 0, 10, 1.0)
+        with pytest.raises(ValueError):
+            decode_attention_cost(get_model("llama2-7b"), H800, 1, 10, 1.0, attention_efficiency=0)
+
+    def test_prefill_quadratic_in_prompt(self):
+        model = get_model("llama2-7b")
+        short = prefill_attention_cost(model, H800, 4, 256).compute
+        long = prefill_attention_cost(model, H800, 4, 512).compute
+        assert long == pytest.approx(4 * short, rel=0.01)
+
+
+class TestSystemProfiles:
+    def test_all_table1_systems_defined(self):
+        for name in TABLE1_SYSTEMS:
+            assert get_system(name).name == name
+        assert len(TABLE1_SYSTEMS) == 7
+
+    def test_w8a8_does_not_support_moe(self):
+        assert not get_system("trt-w8a8").supports_moe
+        assert get_system("liquidserve").supports_moe
+
+    def test_weight_bytes(self):
+        assert get_system("trt-fp16").weight_bytes_per_param == 2.0
+        assert get_system("trt-w8a8").weight_bytes_per_param == 1.0
+        assert 0.5 < get_system("liquidserve").weight_bytes_per_param < 0.6
+
+    def test_kv_formats(self):
+        assert get_system("qserve").kv_format == "int4"
+        assert get_system("liquidserve").kv_format == "int8"
+        assert get_system("trt-fp8").kv_format == "fp8"
+
+    def test_unknown_system(self):
+        with pytest.raises(KeyError):
+            get_system("vllm")
+
+    def test_list_systems(self):
+        assert set(TABLE1_SYSTEMS) <= set(list_systems())
+
+
+class TestServingEngineMemory:
+    def test_weight_memory_matches_model_size(self):
+        engine = ServingEngine("trt-fp16", "llama2-7b")
+        assert engine.weight_memory_bytes() == pytest.approx(13.5e9, rel=0.1)
+        engine4 = ServingEngine("liquidserve", "llama2-7b")
+        assert engine4.weight_memory_bytes() < engine.weight_memory_bytes() / 3
+
+    def test_fp16_70b_does_not_fit(self):
+        engine = ServingEngine("trt-fp16", "llama2-70b")
+        assert engine.max_batch_size(1536) == 0
+        assert engine.peak_throughput().oom
+
+    def test_w8a8_mixtral_unsupported(self):
+        assert ServingEngine("trt-w8a8", "mixtral-8x7b").peak_throughput().oom
+
+    def test_4bit_weights_allow_larger_batches(self):
+        fp16_batch = ServingEngine("trt-fp16", "llama2-13b").max_batch_size(1536)
+        w4_batch = ServingEngine("liquidserve", "llama2-13b").max_batch_size(1536)
+        assert w4_batch > fp16_batch
+
+    def test_qserve_kv4_allows_larger_batches_than_int8(self):
+        int8 = ServingEngine("liquidserve", "llama1-30b").kv_cache_config()
+        int4 = ServingEngine("qserve", "llama1-30b").kv_cache_config()
+        assert int4.bytes_per_token < int8.bytes_per_token
+
+
+class TestServingEngineTiming:
+    def test_breakdown_positive_and_additive(self):
+        engine = ServingEngine("liquidserve", "llama2-7b")
+        bd = engine.layer_breakdown(64, 1024)
+        assert bd.gemm > 0 and bd.attention > 0 and bd.others > 0
+        assert bd.total == pytest.approx(bd.gemm + bd.attention + bd.others)
+        fr = bd.fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_gemm_fraction_shrinks_with_batch(self):
+        """Figure 4: GEMM dominates at small batch; attention grows with batch and context."""
+        engine = ServingEngine("liquidserve", "llama2-7b")
+        small = engine.layer_breakdown(4, 1024).fractions()["gemm"]
+        large = engine.layer_breakdown(256, 1024).fractions()["gemm"]
+        assert small > large
+        assert small > 0.5
+
+    def test_decode_step_scales_with_layers(self):
+        b7 = ServingEngine("liquidserve", "llama2-7b").decode_step_time(16, 512)
+        b13 = ServingEngine("liquidserve", "llama2-13b").decode_step_time(16, 512)
+        assert b13 > b7
+
+    def test_moe_gemm_slower_than_dense_equivalent(self):
+        dense = ServingEngine("liquidserve", "mistral-7b").layer_gemm_time(64)
+        moe = ServingEngine("liquidserve", "mixtral-8x7b").layer_gemm_time(64)
+        assert moe > dense  # eight experts' weights stream through memory
+
+    def test_throughput_point_fields(self):
+        point = ServingEngine("liquidserve", "llama2-7b").throughput(32)
+        assert point.tokens_per_second > 0
+        assert point.decode_step_s > 0
+        assert point.request_latency_s > point.decode_step_s
+        assert point.fits_in_memory
+
+
+class TestTable1Properties:
+    """The qualitative structure of Table 1 that the reproduction must preserve."""
+
+    @pytest.fixture(scope="class")
+    def peaks(self):
+        out = {}
+        for model in ("llama2-7b", "llama2-70b", "yi-34b", "mixtral-8x7b"):
+            out[model] = {
+                system: ServingEngine(system, model).peak_throughput(
+                    batch_sizes=[1, 4, 16, 64, 128, 192, 256]
+                )
+                for system in TABLE1_SYSTEMS
+            }
+        return out
+
+    def test_liquidserve_wins_on_every_model(self, peaks):
+        for model, row in peaks.items():
+            best_other = max(
+                r.peak_throughput for name, r in row.items() if name != "liquidserve"
+            )
+            assert row["liquidserve"].peak_throughput >= best_other, model
+
+    def test_liquidserve_beats_its_own_qserve_kernel_variant(self, peaks):
+        """LiquidServe vs LiquidServe/wo isolates the GEMM kernel's contribution."""
+        for model, row in peaks.items():
+            assert row["liquidserve"].peak_throughput > 1.05 * row["liquidserve-wo"].peak_throughput
+
+    def test_speedup_over_qserve_largest_on_large_or_gqa_models(self, peaks):
+        s7 = peaks["llama2-7b"]["liquidserve"].peak_throughput / peaks["llama2-7b"]["qserve"].peak_throughput
+        s70 = peaks["llama2-70b"]["liquidserve"].peak_throughput / peaks["llama2-70b"]["qserve"].peak_throughput
+        assert s70 > s7 > 1.0
+
+    def test_oom_entries(self, peaks):
+        assert peaks["llama2-70b"]["trt-fp16"].oom
+        assert peaks["mixtral-8x7b"]["trt-fp16"].oom
+        assert peaks["mixtral-8x7b"]["trt-w8a8"].oom
+
+    def test_peak_batch_reported(self, peaks):
+        result = peaks["llama2-7b"]["liquidserve"]
+        assert result.peak_batch_size >= 128
+        assert "(" in result.label
+
+
+class TestScheduler:
+    def test_completes_all_requests(self):
+        engine = ServingEngine("liquidserve", "llama2-7b")
+        scheduler = ContinuousBatchingScheduler(engine, max_batch_size=8)
+        requests = [Request(i, prompt_tokens=64, output_tokens=8, arrival_time_s=0.0) for i in range(12)]
+        stats = scheduler.run(requests)
+        assert stats.completed_requests == 12
+        assert stats.generated_tokens == 12 * 8
+        assert stats.peak_batch_size <= 8
+        assert 0 < stats.peak_kv_utilization <= 1.0
+        assert scheduler.kv_cache.num_used_blocks == 0  # everything released
+
+    def test_throughput_positive_and_latency_ordering(self):
+        engine = ServingEngine("liquidserve", "llama2-7b")
+        stats = ContinuousBatchingScheduler(engine, max_batch_size=4).run(
+            [Request(i, 32, 4) for i in range(4)]
+        )
+        assert stats.throughput_tokens_per_s > 0
+        assert stats.mean_ttft_s <= stats.mean_latency_s
+
+    def test_oversized_model_raises(self):
+        engine = ServingEngine("trt-fp16", "llama2-70b")
+        with pytest.raises(Exception):
+            ContinuousBatchingScheduler(engine)

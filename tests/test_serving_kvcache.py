@@ -1,0 +1,169 @@
+"""Tests for the paged KV-cache allocator, including property-based allocator invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.serving import KvCacheConfig, KvCacheOutOfMemory, PagedKvCache, get_model
+
+
+def make_config(budget_mb=64, kv_format="int8", block_tokens=16, model="llama2-7b"):
+    return KvCacheConfig(
+        model=get_model(model),
+        kv_format=kv_format,
+        block_tokens=block_tokens,
+        memory_budget_bytes=budget_mb * 2**20,
+    )
+
+
+class TestKvCacheConfig:
+    def test_bytes_per_token_matches_model(self):
+        cfg = make_config()
+        assert cfg.bytes_per_token == pytest.approx(2 * 4096 * 32)
+
+    def test_int4_halves_bytes(self):
+        assert make_config(kv_format="int4").bytes_per_token == pytest.approx(
+            make_config(kv_format="int8").bytes_per_token / 2
+        )
+
+    def test_blocks_for_tokens(self):
+        cfg = make_config(block_tokens=16)
+        assert cfg.blocks_for_tokens(1) == 1
+        assert cfg.blocks_for_tokens(16) == 1
+        assert cfg.blocks_for_tokens(17) == 2
+
+    def test_total_blocks(self):
+        cfg = make_config(budget_mb=64)
+        assert cfg.total_blocks == (64 * 2**20) // cfg.bytes_per_block
+
+
+class TestPagedKvCache:
+    def test_requires_budget(self):
+        with pytest.raises(ValueError):
+            PagedKvCache(make_config(budget_mb=0))
+
+    def test_add_and_free_sequence(self):
+        cache = PagedKvCache(make_config())
+        state = cache.add_sequence(1, prompt_tokens=100)
+        assert state.num_blocks == math.ceil(100 / 16)
+        assert cache.num_used_blocks == state.num_blocks
+        freed = cache.free_sequence(1)
+        assert freed == state.num_blocks
+        assert cache.num_used_blocks == 0
+
+    def test_duplicate_sequence_rejected(self):
+        cache = PagedKvCache(make_config())
+        cache.add_sequence(1, 10)
+        with pytest.raises(ValueError):
+            cache.add_sequence(1, 10)
+
+    def test_append_allocates_new_block_on_boundary(self):
+        cache = PagedKvCache(make_config(block_tokens=16))
+        cache.add_sequence(1, 16)
+        assert cache.sequence(1).num_blocks == 1
+        cache.append_token(1)
+        assert cache.sequence(1).num_blocks == 2
+
+    def test_oom_on_admission(self):
+        cfg = make_config(budget_mb=8)
+        cache = PagedKvCache(cfg)
+        too_big = (cfg.total_blocks + 1) * cfg.block_tokens
+        with pytest.raises(KvCacheOutOfMemory):
+            cache.add_sequence(1, too_big)
+
+    def test_oom_on_append(self):
+        cfg = make_config(budget_mb=1, block_tokens=16)
+        cache = PagedKvCache(cfg)
+        cache.add_sequence(1, cfg.total_blocks * 16)  # exactly fills the pool
+        with pytest.raises(KvCacheOutOfMemory):
+            cache.append_token(1)
+
+    def test_unknown_sequence(self):
+        cache = PagedKvCache(make_config())
+        with pytest.raises(KeyError):
+            cache.append_token(42)
+        with pytest.raises(KeyError):
+            cache.free_sequence(42)
+
+    def test_can_admit(self):
+        cfg = make_config(budget_mb=8)
+        cache = PagedKvCache(cfg)
+        assert cache.can_admit(16)
+        assert not cache.can_admit((cfg.total_blocks + 1) * 16)
+
+    def test_max_batch_size(self):
+        cfg = make_config(budget_mb=512)
+        per_seq_blocks = cfg.blocks_for_tokens(1536)
+        assert PagedKvCache.max_batch_size(cfg, 1536) == cfg.total_blocks // per_seq_blocks
+
+    def test_utilization_range(self):
+        cache = PagedKvCache(make_config())
+        assert cache.utilization() == 0.0
+        cache.add_sequence(1, 100)
+        assert 0.0 < cache.utilization() <= 1.0
+
+
+class KvCacheMachine(RuleBasedStateMachine):
+    """Stateful property test: the allocator never double-books or leaks blocks."""
+
+    def __init__(self):
+        super().__init__()
+        self.config = make_config(budget_mb=16, block_tokens=16)
+        self.cache = PagedKvCache(self.config)
+        self.model_tokens = {}
+        self.next_id = 0
+
+    @rule(prompt=st.integers(min_value=0, max_value=600))
+    def add(self, prompt):
+        seq_id = self.next_id
+        self.next_id += 1
+        try:
+            self.cache.add_sequence(seq_id, prompt)
+        except KvCacheOutOfMemory:
+            assert self.config.blocks_for_tokens(prompt) > self.cache.num_free_blocks
+        else:
+            self.model_tokens[seq_id] = prompt
+
+    @precondition(lambda self: self.model_tokens)
+    @rule(data=st.data())
+    def append(self, data):
+        seq_id = data.draw(st.sampled_from(sorted(self.model_tokens)))
+        try:
+            self.cache.append_token(seq_id)
+        except KvCacheOutOfMemory:
+            assert self.cache.num_free_blocks == 0
+        else:
+            self.model_tokens[seq_id] += 1
+
+    @precondition(lambda self: self.model_tokens)
+    @rule(data=st.data())
+    def free(self, data):
+        seq_id = data.draw(st.sampled_from(sorted(self.model_tokens)))
+        self.cache.free_sequence(seq_id)
+        del self.model_tokens[seq_id]
+
+    @invariant()
+    def block_accounting_consistent(self):
+        used = sum(self.cache.sequence(s).num_blocks for s in self.model_tokens)
+        assert used == self.cache.num_used_blocks
+        assert used + self.cache.num_free_blocks == self.config.total_blocks
+
+    @invariant()
+    def blocks_match_token_counts(self):
+        for seq_id, tokens in self.model_tokens.items():
+            state = self.cache.sequence(seq_id)
+            assert state.num_tokens == tokens
+            assert state.num_blocks == self.config.blocks_for_tokens(tokens) if tokens else True
+
+    @invariant()
+    def no_block_shared_between_sequences(self):
+        seen = set()
+        for seq_id in self.model_tokens:
+            for block in self.cache.sequence(seq_id).blocks:
+                assert block not in seen
+                seen.add(block)
+
+
+TestKvCacheStateMachine = KvCacheMachine.TestCase

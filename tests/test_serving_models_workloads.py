@@ -1,0 +1,113 @@
+"""Tests for model configurations and GEMM workload generation."""
+
+import pytest
+
+from repro.costmodel import GemmShape
+from repro.serving import MODELS, get_model, list_models
+from repro.workloads import PAPER_BATCH_SIZES, batch_sweep, decode_layer_gemms, moe_expert_batch
+
+
+class TestModelConfigs:
+    def test_all_eight_paper_models_present(self):
+        expected = {"llama1-30b", "llama2-7b", "llama2-13b", "llama2-70b",
+                    "llama3-8b", "mistral-7b", "yi-34b", "mixtral-8x7b"}
+        assert expected <= set(list_models())
+
+    @pytest.mark.parametrize(
+        "name, params_billion",
+        [
+            ("llama2-7b", 6.7),
+            ("llama2-13b", 13.0),
+            ("llama2-70b", 69.0),
+            ("llama1-30b", 32.5),
+            ("llama3-8b", 8.0),
+            ("mistral-7b", 7.2),
+            ("yi-34b", 34.4),
+            ("mixtral-8x7b", 46.7),
+        ],
+    )
+    def test_total_parameter_counts(self, name, params_billion):
+        """Parameter counts must match the published model sizes within 10%."""
+        total = get_model(name).total_params()
+        assert total == pytest.approx(params_billion * 1e9, rel=0.10)
+
+    def test_gqa_models(self):
+        for name in ("llama2-70b", "llama3-8b", "mistral-7b", "yi-34b", "mixtral-8x7b"):
+            model = get_model(name)
+            assert model.num_kv_heads < model.num_heads
+        for name in ("llama2-7b", "llama2-13b", "llama1-30b"):
+            model = get_model(name)
+            assert model.num_kv_heads == model.num_heads
+
+    def test_mixtral_is_moe(self):
+        mixtral = get_model("mixtral-8x7b")
+        assert mixtral.is_moe and mixtral.num_experts == 8 and mixtral.experts_per_token == 2
+        assert not get_model("llama2-7b").is_moe
+
+    def test_kv_bytes_per_token(self):
+        m = get_model("llama2-7b")
+        # MHA: 2 * 4096 * 32 layers * 1 byte for INT8.
+        assert m.kv_bytes_per_token(1.0) == pytest.approx(2 * 4096 * 32)
+        gqa = get_model("llama2-70b")
+        assert gqa.kv_bytes_per_token(1.0) == pytest.approx(2 * 1024 * 80)
+
+    def test_active_params_moe_smaller_than_total(self):
+        mixtral = get_model("mixtral-8x7b")
+        assert mixtral.active_params_per_token() < mixtral.gemm_weight_params() / 2
+        dense = get_model("llama2-7b")
+        assert dense.active_params_per_token() == dense.gemm_weight_params()
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("gpt-5")
+
+    def test_validation_of_head_geometry(self):
+        from repro.serving.models import ModelConfig
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 2, 100, 7, 7, 100, 1000)
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 2, 128, 8, 3, 100, 1000)
+
+
+class TestWorkloads:
+    def test_dense_layer_gemms(self):
+        gemms = decode_layer_gemms(get_model("llama2-7b"), 16)
+        assert gemms.qkv == GemmShape(16, 3 * 4096, 4096)
+        assert gemms.out_proj == GemmShape(16, 4096, 4096)
+        assert gemms.gate_up == [GemmShape(16, 2 * 11008, 4096)]
+        assert gemms.down == [GemmShape(16, 4096, 11008)]
+        # Weight elements per layer ~= published per-layer parameter count.
+        assert gemms.total_weight_elements == get_model("llama2-7b").params_per_layer()
+
+    def test_gqa_qkv_shape(self):
+        gemms = decode_layer_gemms(get_model("llama2-70b"), 8)
+        assert gemms.qkv.n == (64 + 2 * 8) * 128
+
+    def test_moe_layer_gemms(self):
+        model = get_model("mixtral-8x7b")
+        gemms = decode_layer_gemms(model, 32)
+        assert len(gemms.gate_up) == 8 and len(gemms.down) == 8
+        assert gemms.gate_up[0].m == moe_expert_batch(32, model) == 8
+
+    def test_moe_expert_batch_minimum_one(self):
+        model = get_model("mixtral-8x7b")
+        assert moe_expert_batch(1, model) == 1
+        assert moe_expert_batch(4, model) == 1
+        assert moe_expert_batch(256, model) == 64
+
+    def test_flops_scale_with_batch(self):
+        model = get_model("llama2-7b")
+        f16 = decode_layer_gemms(model, 16).total_flops
+        f32 = decode_layer_gemms(model, 32).total_flops
+        assert f32 == 2 * f16
+
+    def test_batch_sweep(self):
+        sweep = batch_sweep(get_model("llama2-7b"))
+        assert set(sweep) == set(PAPER_BATCH_SIZES)
+        assert PAPER_BATCH_SIZES == (4, 8, 16, 32, 64, 128, 256)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            decode_layer_gemms(get_model("llama2-7b"), 0)
+        with pytest.raises(ValueError):
+            moe_expert_batch(0, get_model("mixtral-8x7b"))
