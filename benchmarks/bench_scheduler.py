@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Performance harness for the request-level scheduler simulation.
+
+Times a 500-request ShareGPT-like trace (Poisson arrivals) through the continuous-batching
+scheduler on Llama2-7B/H800 — chunked prefill, ragged decode and preemption enabled — plus
+the tensor-parallel Llama2-70B acceptance scenario, and writes ``BENCH_scheduler.json`` at
+the repository root so subsequent PRs can track both simulator wall-time (is the scheduler
+hot loop regressing?) and the simulated serving metrics (did a change silently alter the
+model?).
+
+Run:  PYTHONPATH=src python benchmarks/bench_scheduler.py
+"""
+
+import json
+import os
+import time
+
+from repro.core import simulate_serving
+from repro.serving import ServingEngine, SloSpec
+
+RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_scheduler.json")
+
+
+def bench_trace_simulation() -> dict:
+    slo = SloSpec(ttft_s=2.0, tpot_s=0.1)
+    start = time.perf_counter()
+    sim = simulate_serving(
+        "liquidserve",
+        "llama2-7b",
+        num_requests=500,
+        arrival_rate_rps=20.0,
+        seed=0,
+        slo=slo,
+    )
+    wall_s = time.perf_counter() - start
+    stats, report = sim.stats, sim.slo
+    return {
+        "workload": {
+            "system": sim.system,
+            "model": sim.model,
+            "device": "H800",
+            "num_requests": sim.num_requests,
+            "arrival": "poisson-20rps",
+            "lengths": "sharegpt-lognormal",
+            "slo": {"ttft_s": slo.ttft_s, "tpot_s": slo.tpot_s},
+        },
+        "harness": {
+            "wall_time_s": round(wall_s, 3),
+            "iterations_per_s": round(stats.num_iterations / wall_s, 1),
+        },
+        "simulated": {
+            "completed_requests": stats.completed_requests,
+            "generated_tokens": stats.generated_tokens,
+            "throughput_tokens_per_s": round(stats.throughput_tokens_per_s, 1),
+            "iterations": stats.num_iterations,
+            "prefill_chunks": stats.prefill_chunks,
+            "preemptions": stats.preemptions,
+            "peak_batch_size": stats.peak_batch_size,
+            "peak_kv_utilization": round(stats.peak_kv_utilization, 4),
+            "p50_ttft_s": round(report.p50_ttft_s, 4),
+            "p99_ttft_s": round(report.p99_ttft_s, 4),
+            "p50_tpot_s": round(report.p50_tpot_s, 5),
+            "p99_tpot_s": round(report.p99_tpot_s, 5),
+            "slo_attainment": round(report.attainment, 4),
+            "goodput_rps": round(report.goodput_rps, 2),
+        },
+    }
+
+
+def bench_tensor_parallel() -> dict:
+    """Llama2-70B FP16: OOM on one GPU, finite peak throughput on four."""
+    single = ServingEngine("trt-fp16", "llama2-70b")
+    sharded = ServingEngine("trt-fp16", "llama2-70b", tp_degree=4)
+    start = time.perf_counter()
+    result = sharded.peak_throughput(batch_sizes=[1, 16, 64, 128, 256])
+    wall_s = time.perf_counter() - start
+    return {
+        "single_gpu_oom": single.peak_throughput(batch_sizes=[1, 16, 64]).oom,
+        "tp4_peak_tokens_per_s": round(result.peak_throughput, 1),
+        "tp4_peak_batch": result.peak_batch_size,
+        "tp4_weights_per_gpu_gb": round(sharded.weight_memory_bytes() / 2**30, 2),
+        "wall_time_s": round(wall_s, 3),
+    }
+
+
+def main() -> None:
+    payload = {
+        "benchmark": "bench_scheduler",
+        "trace_simulation": bench_trace_simulation(),
+        "tensor_parallel_llama2_70b": bench_tensor_parallel(),
+    }
+    path = os.path.abspath(RESULT_PATH)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

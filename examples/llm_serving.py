@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""End-to-end LLM serving study: Table 1-style peak throughput plus a continuous-batching run.
+"""End-to-end LLM serving study: Table 1-style peak throughput, a trace-driven request-level
+simulation, and a multi-GPU tensor-parallel configuration.
 
 Part 1 sweeps the batch size for every serving system on a chosen model under the 80 GB
-memory budget and reports the peak throughput (the Table 1 cell).  Part 2 runs the
-continuous-batching scheduler on a synthetic request trace with the LiquidServe configuration,
-exercising the paged KV-cache allocator under churn.
+memory budget and reports the peak throughput (the Table 1 cell).  Part 2 serves a ShareGPT-
+like long-tail trace with Poisson arrivals through the continuous-batching scheduler —
+chunked prefill, ragged decode batches and preemption under KV pressure — and reports the
+SLO metrics (p50/p99 TTFT, TPOT, goodput).  Part 3 shows tensor parallelism turning a
+single-GPU OOM (Llama2-70B in FP16) into a finite multi-GPU throughput number.
 
 Run:  python examples/llm_serving.py [model-name]
       e.g. python examples/llm_serving.py llama2-70b
@@ -12,15 +15,9 @@ Run:  python examples/llm_serving.py [model-name]
 
 import sys
 
-import numpy as np
-
-from repro.reporting import format_table
-from repro.serving import (
-    ContinuousBatchingScheduler,
-    Request,
-    ServingEngine,
-    TABLE1_SYSTEMS,
-)
+from repro.core import simulate_serving
+from repro.reporting import format_metrics, format_table
+from repro.serving import ServingEngine, SloSpec, TABLE1_SYSTEMS
 
 
 def peak_throughput_table(model_name: str) -> None:
@@ -42,34 +39,62 @@ def peak_throughput_table(model_name: str) -> None:
     ))
 
 
-def continuous_batching_demo(model_name: str) -> None:
-    engine = ServingEngine("liquidserve", model_name)
-    scheduler = ContinuousBatchingScheduler(engine, max_batch_size=32)
-    rng = np.random.default_rng(0)
-    requests = [
-        Request(
-            request_id=i,
-            prompt_tokens=int(rng.integers(64, 512)),
-            output_tokens=int(rng.integers(16, 128)),
-            arrival_time_s=float(i) * 0.01,
-        )
-        for i in range(64)
-    ]
-    stats = scheduler.run(requests)
-    print(f"\nContinuous batching on {model_name} with LiquidServe (64 synthetic requests):")
-    print(f"  completed requests : {stats.completed_requests}")
-    print(f"  generated tokens   : {stats.generated_tokens}")
-    print(f"  throughput         : {stats.throughput_tokens_per_s:,.0f} tokens/s")
-    print(f"  mean TTFT          : {stats.mean_ttft_s * 1e3:.1f} ms")
-    print(f"  mean latency       : {stats.mean_latency_s:.2f} s")
-    print(f"  peak batch size    : {stats.peak_batch_size}")
-    print(f"  peak KV utilization: {stats.peak_kv_utilization:.1%}")
+def trace_simulation_demo(model_name: str) -> None:
+    slo = SloSpec(ttft_s=2.0, tpot_s=0.1)
+    sim = simulate_serving(
+        "liquidserve",
+        model_name,
+        num_requests=500,
+        arrival_rate_rps=20.0,
+        seed=0,
+        slo=slo,
+    )
+    stats, report = sim.stats, sim.slo
+    print("\n" + format_metrics(
+        {
+            "completed requests": stats.completed_requests,
+            "generated tokens": stats.generated_tokens,
+            "throughput (tokens/s)": stats.throughput_tokens_per_s,
+            "scheduler iterations": stats.num_iterations,
+            "prefill chunks": stats.prefill_chunks,
+            "preemptions": stats.preemptions,
+            "peak batch size": stats.peak_batch_size,
+            "peak KV utilization": stats.peak_kv_utilization,
+            "p50 / p99 TTFT (s)": f"{report.p50_ttft_s:.3f} / {report.p99_ttft_s:.3f}",
+            "p50 / p99 TPOT (ms)": f"{report.p50_tpot_s * 1e3:.2f} / {report.p99_tpot_s * 1e3:.2f}",
+            "SLO attainment": f"{report.attainment:.1%}",
+            "goodput (req/s)": report.goodput_rps,
+        },
+        title=(f"Trace-driven simulation on {model_name} with LiquidServe "
+               f"(500 requests, Poisson 20 req/s, ShareGPT-like lengths; "
+               f"SLO: TTFT<={slo.ttft_s}s, TPOT<={slo.tpot_s * 1e3:.0f}ms)"),
+    ))
+
+
+def tensor_parallel_demo() -> None:
+    rows = []
+    for tp in (1, 2, 4, 8):
+        engine = ServingEngine("trt-fp16", "llama2-70b", tp_degree=tp)
+        result = engine.peak_throughput(input_len=1024, output_len=512,
+                                        batch_sizes=[1, 16, 64, 128, 256])
+        rows.append([
+            tp,
+            result.label,
+            f"{engine.weight_memory_bytes() / 2**30:.1f}",
+            f"{engine.kv_budget_bytes() / 2**30:.1f}",
+        ])
+    print("\n" + format_table(
+        ["tp_degree", "peak tokens/s (batch)", "weights/GPU (GB)", "KV/GPU (GB)"],
+        rows,
+        title="Tensor parallelism: Llama2-70B in FP16 goes from OOM to serving (H800)",
+    ))
 
 
 def main() -> None:
     model_name = sys.argv[1] if len(sys.argv) > 1 else "llama2-7b"
     peak_throughput_table(model_name)
-    continuous_batching_demo(model_name)
+    trace_simulation_demo(model_name)
+    tensor_parallel_demo()
 
 
 if __name__ == "__main__":

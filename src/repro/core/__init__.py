@@ -6,6 +6,21 @@ the LiquidGEMM kernel and the convenience functions most downstream users want.
 """
 
 from ..kernels.liquidgemm import LiquidGemmKernel
-from .api import GemmResult, compare_kernels, quantize_weights, w4a8_gemm
+from .api import (
+    GemmResult,
+    ServingSimulation,
+    compare_kernels,
+    quantize_weights,
+    simulate_serving,
+    w4a8_gemm,
+)
 
-__all__ = ["LiquidGemmKernel", "GemmResult", "compare_kernels", "quantize_weights", "w4a8_gemm"]
+__all__ = [
+    "LiquidGemmKernel",
+    "GemmResult",
+    "ServingSimulation",
+    "compare_kernels",
+    "quantize_weights",
+    "simulate_serving",
+    "w4a8_gemm",
+]

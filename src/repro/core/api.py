@@ -1,13 +1,16 @@
 """Top-level convenience API for the LiquidGEMM reproduction.
 
-Most users need three things:
+Most users need four things:
 
 * :func:`quantize_weights` — offline LiquidQuant quantization + dual-MMA packing of a weight
   matrix, ready for deployment;
 * :func:`w4a8_gemm` — run a W4A8 GEMM through the LiquidGEMM kernel (numerically exact
   integer path) and obtain both the output and a performance report for a chosen GPU;
 * :func:`compare_kernels` — the unified kernel benchmark of Section 7.3: the same GEMM shape
-  evaluated under every kernel in the registry.
+  evaluated under every kernel in the registry;
+* :func:`simulate_serving` — a trace-driven, request-level serving simulation (continuous
+  batching with chunked prefill and preemption, optional tensor parallelism) returning both
+  scheduler statistics and an SLO report (p50/p99 TTFT, TPOT, goodput).
 
 Everything here is a thin composition of the subpackages; power users should use
 :mod:`repro.kernels`, :mod:`repro.serving` and :mod:`repro.costmodel` directly.
@@ -25,8 +28,19 @@ from ..kernels.base import KernelReport, PreparedWeights
 from ..kernels.liquidgemm import LiquidGemmKernel
 from ..kernels.registry import default_comparison_set, get_kernel
 from ..quant.base import quantization_error
+from ..serving.engine import ServingEngine
+from ..serving.metrics import SloReport, SloSpec
+from ..serving.scheduler import ContinuousBatchingScheduler, SchedulerStats
+from ..workloads.traces import (
+    SHAREGPT_OUTPUTS,
+    SHAREGPT_PROMPTS,
+    ArrivalProcess,
+    LengthDistribution,
+    generate_trace,
+)
 
-__all__ = ["quantize_weights", "w4a8_gemm", "compare_kernels", "GemmResult"]
+__all__ = ["quantize_weights", "w4a8_gemm", "compare_kernels", "GemmResult",
+           "ServingSimulation", "simulate_serving"]
 
 
 @dataclass
@@ -69,6 +83,76 @@ def w4a8_gemm(
         reference=reference,
         error=quantization_error(reference, output),
         report=kernel.estimate(shape, device),
+    )
+
+
+@dataclass
+class ServingSimulation:
+    """Outcome of :func:`simulate_serving`: scheduler statistics plus the SLO summary."""
+
+    system: str
+    model: str
+    tp_degree: int
+    num_requests: int
+    stats: SchedulerStats
+    slo: SloReport
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        return self.stats.throughput_tokens_per_s
+
+    @property
+    def goodput_rps(self) -> float:
+        return self.slo.goodput_rps
+
+
+def simulate_serving(
+    system: str = "liquidserve",
+    model: str = "llama2-7b",
+    *,
+    device: str = "H800",
+    tp_degree: int = 1,
+    num_requests: int = 500,
+    arrival_rate_rps: float = 10.0,
+    arrival_cv: float = 1.0,
+    prompt_lengths: Optional[LengthDistribution] = None,
+    output_lengths: Optional[LengthDistribution] = None,
+    seed: int = 0,
+    max_batch_size: Optional[int] = None,
+    max_batched_tokens: Optional[int] = None,
+    prefill_chunk_tokens: int = 256,
+    slo: Optional[SloSpec] = None,
+) -> ServingSimulation:
+    """Run a trace-driven request-level serving simulation end to end.
+
+    Generates a reproducible trace (Poisson arrivals by default, Gamma when
+    ``arrival_cv != 1``; ShareGPT-like long-tail lengths unless overridden), serves it with
+    the continuous-batching scheduler — chunked prefill, ragged decode batches, preemption
+    under KV pressure, optional tensor parallelism — and summarizes both throughput and SLO
+    attainment.
+    """
+    engine = ServingEngine(system, model, device=device, tp_degree=tp_degree)
+    scheduler = ContinuousBatchingScheduler(
+        engine,
+        max_batch_size=max_batch_size,
+        max_batched_tokens=max_batched_tokens,
+        prefill_chunk_tokens=prefill_chunk_tokens,
+    )
+    trace = generate_trace(
+        num_requests,
+        ArrivalProcess(rate_rps=arrival_rate_rps, cv=arrival_cv),
+        prompt_lengths or SHAREGPT_PROMPTS,
+        output_lengths or SHAREGPT_OUTPUTS,
+        seed=seed,
+    )
+    stats = scheduler.run(trace)
+    return ServingSimulation(
+        system=engine.system.name,
+        model=engine.model.name,
+        tp_degree=tp_degree,
+        num_requests=num_requests,
+        stats=stats,
+        slo=stats.slo_report(slo),
     )
 
 

@@ -1,5 +1,5 @@
 """Result formatting helpers shared by benchmarks and examples."""
 
-from .tables import format_series, format_speedups, format_table
+from .tables import format_metrics, format_series, format_speedups, format_table
 
-__all__ = ["format_series", "format_speedups", "format_table"]
+__all__ = ["format_metrics", "format_series", "format_speedups", "format_table"]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-__all__ = ["format_table", "format_series", "format_speedups"]
+__all__ = ["format_table", "format_series", "format_speedups", "format_metrics"]
 
 Number = Union[int, float]
 
@@ -61,6 +61,28 @@ def format_series(
         row = [x] + [series[name][i] for name in series]
         rows.append(row)
     return format_table(headers, rows, title=title, float_fmt=float_fmt)
+
+
+def format_metrics(
+    metrics: Mapping[str, object],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render a name -> value mapping as an aligned key/value block.
+
+    Used by the serving simulation example and benchmark harness to report scheduler
+    statistics and SLO summaries (p50/p99 TTFT, TPOT, goodput) without hand-rolled padding.
+    """
+    if not metrics:
+        return title or ""
+    rendered = {name: _fmt(value, float_fmt) for name, value in metrics.items()}
+    width = max(len(name) for name in rendered)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, value in rendered.items():
+        lines.append(f"  {name.ljust(width)} : {value}")
+    return "\n".join(lines)
 
 
 def format_speedups(

@@ -1,10 +1,31 @@
-"""End-to-end LLM serving model: model configs, attention, paged KV cache, systems, engine."""
+"""End-to-end LLM serving model: model configs, attention, paged KV cache, systems, engine,
+request-level scheduler simulation, traces-facing metrics and tensor parallelism."""
 
 from .models import MODELS, ModelConfig, get_model, list_models
-from .attention import AttentionCost, decode_attention_cost, prefill_attention_cost
+from .attention import (
+    AttentionCost,
+    chunked_prefill_attention_cost,
+    decode_attention_cost,
+    prefill_attention_cost,
+    ragged_decode_attention_cost,
+)
 from .kvcache import KvCacheConfig, KvCacheOutOfMemory, PagedKvCache, SequenceState
 from .systems import SYSTEMS, TABLE1_SYSTEMS, SystemProfile, get_system, list_systems
-from .engine import LayerBreakdown, ServingEngine, ServingResult, ThroughputPoint
+from .engine import (
+    LayerBreakdown,
+    PrefillChunk,
+    ServingEngine,
+    ServingResult,
+    ThroughputPoint,
+)
+from .metrics import (
+    RequestMetrics,
+    SloReport,
+    SloSpec,
+    compute_slo_report,
+    percentile,
+    request_metrics,
+)
 from .scheduler import ContinuousBatchingScheduler, Request, SchedulerStats
 
 __all__ = [
@@ -14,6 +35,8 @@ __all__ = [
     "list_models",
     "AttentionCost",
     "decode_attention_cost",
+    "ragged_decode_attention_cost",
+    "chunked_prefill_attention_cost",
     "prefill_attention_cost",
     "KvCacheConfig",
     "KvCacheOutOfMemory",
@@ -25,9 +48,16 @@ __all__ = [
     "get_system",
     "list_systems",
     "LayerBreakdown",
+    "PrefillChunk",
     "ServingEngine",
     "ServingResult",
     "ThroughputPoint",
+    "RequestMetrics",
+    "SloReport",
+    "SloSpec",
+    "compute_slo_report",
+    "percentile",
+    "request_metrics",
     "ContinuousBatchingScheduler",
     "Request",
     "SchedulerStats",

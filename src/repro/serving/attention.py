@@ -7,17 +7,36 @@ K/V elements from HBM, followed by a comparatively small amount of Tensor-Core w
 KV-cache precision (FP8 / INT8 / INT4) and the attention kernel's sustained bandwidth are what
 differentiate the serving systems in Figures 4 and 10.
 
-The model below accounts those three terms explicitly plus a fixed kernel-launch overhead.
+Three cost entry points are provided:
+
+* :func:`decode_attention_cost` — a uniform batch at a single context length (the Table 1 /
+  Figure 4 fixed-batch quantity);
+* :func:`ragged_decode_attention_cost` — one decode step over a *ragged* batch, charging each
+  sequence its own context length (what an iteration-level scheduler produces);
+* :func:`chunked_prefill_attention_cost` — one prefill chunk attending causally over the
+  already-cached prefix plus itself (Sarathi-style chunked prefill).
+
+All of them accept a ``tp_degree``: with Megatron-style tensor parallelism the query heads are
+split ``tp_degree`` ways and the KV heads are split (or replicated, for GQA models with fewer
+KV heads than GPUs), so each GPU streams and computes only its shard.  The costs returned are
+*per GPU* — the group runs in lockstep, so the per-GPU time is the step time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..gpu.specs import GpuSpec, Precision
 from .models import ModelConfig
 
-__all__ = ["AttentionCost", "decode_attention_cost", "prefill_attention_cost"]
+__all__ = [
+    "AttentionCost",
+    "decode_attention_cost",
+    "ragged_decode_attention_cost",
+    "chunked_prefill_attention_cost",
+    "prefill_attention_cost",
+]
 
 
 @dataclass(frozen=True)
@@ -38,6 +57,62 @@ class AttentionCost:
 _ATTENTION_LAUNCH_OVERHEAD_S = 4.0e-6
 
 
+def _tensor_precision(gpu: GpuSpec) -> str:
+    return Precision.FP16 if gpu.supports_precision(Precision.FP16) else Precision.INT8
+
+
+def _check_efficiency(attention_efficiency: float) -> None:
+    if not 0 < attention_efficiency <= 1.0:
+        raise ValueError("attention_efficiency must be in (0, 1]")
+
+
+def ragged_decode_attention_cost(
+    model: ModelConfig,
+    gpu: GpuSpec,
+    context_lengths: Sequence[int],
+    kv_bytes_per_element: float,
+    bandwidth_efficiency: float = 0.85,
+    attention_efficiency: float = 1.0,
+    tp_degree: int = 1,
+) -> AttentionCost:
+    """Cost of one decode-step attention call for one layer over a ragged batch.
+
+    Every sequence is charged for streaming exactly its own cached context — the quantity a
+    uniform-batch model overstates by billing all sequences at the batch maximum.  All terms
+    are linear per sequence, so the uniform :func:`decode_attention_cost` is the special case
+    of equal ``context_lengths``.
+    """
+    if not context_lengths:
+        raise ValueError("context_lengths must be non-empty")
+    if any(c <= 0 for c in context_lengths):
+        raise ValueError("context lengths must be positive")
+    _check_efficiency(attention_efficiency)
+
+    batch_size = len(context_lengths)
+    total_context = float(sum(context_lengths))
+    kv_dim = model.kv_dim_per_gpu(tp_degree)
+    heads = model.heads_per_gpu(tp_degree)
+
+    effective_bw = gpu.memory_bandwidth * bandwidth_efficiency * attention_efficiency
+
+    kv_elements = 2.0 * total_context * kv_dim
+    kv_read = kv_elements * kv_bytes_per_element / effective_bw
+
+    new_kv_bytes = 2.0 * batch_size * kv_dim * kv_bytes_per_element
+    kv_write = new_kv_bytes / effective_bw
+
+    # q·K^T and p·V: 2 * context * heads * head_dim MACs each per sequence.
+    flops = 8.0 * total_context * heads * model.head_dim
+    compute = flops / (gpu.tensor_core_throughput(_tensor_precision(gpu)) * attention_efficiency)
+
+    return AttentionCost(
+        kv_read=kv_read,
+        kv_write=kv_write,
+        compute=compute,
+        overhead=_ATTENTION_LAUNCH_OVERHEAD_S,
+    )
+
+
 def decode_attention_cost(
     model: ModelConfig,
     gpu: GpuSpec,
@@ -46,8 +121,9 @@ def decode_attention_cost(
     kv_bytes_per_element: float,
     bandwidth_efficiency: float = 0.85,
     attention_efficiency: float = 1.0,
+    tp_degree: int = 1,
 ) -> AttentionCost:
-    """Cost of one decode-step attention call for one layer.
+    """Cost of one decode-step attention call for one layer (uniform batch).
 
     ``attention_efficiency`` scales the *whole* kernel (bandwidth and compute alike) and is the
     knob that distinguishes the systems' attention implementations (e.g. TRT-FP8's
@@ -56,22 +132,55 @@ def decode_attention_cost(
     """
     if batch_size <= 0 or context_length <= 0:
         raise ValueError("batch_size and context_length must be positive")
-    if not 0 < attention_efficiency <= 1.0:
-        raise ValueError("attention_efficiency must be in (0, 1]")
+    return ragged_decode_attention_cost(
+        model,
+        gpu,
+        [context_length] * batch_size,
+        kv_bytes_per_element,
+        bandwidth_efficiency=bandwidth_efficiency,
+        attention_efficiency=attention_efficiency,
+        tp_degree=tp_degree,
+    )
 
+
+def chunked_prefill_attention_cost(
+    model: ModelConfig,
+    gpu: GpuSpec,
+    chunk_tokens: int,
+    context_start: int,
+    kv_bytes_per_element: float,
+    bandwidth_efficiency: float = 0.85,
+    attention_efficiency: float = 1.0,
+    tp_degree: int = 1,
+) -> AttentionCost:
+    """Cost of one layer's attention for a prefill *chunk* of a longer prompt.
+
+    The chunk's ``chunk_tokens`` queries attend causally over the ``context_start`` tokens
+    already resident in the paged KV cache plus the causal prefix inside the chunk itself.
+    The cached prefix is streamed from HBM (at KV-cache precision); the chunk's own K/V is
+    produced on the fly and written back once.
+    """
+    if chunk_tokens <= 0:
+        raise ValueError("chunk_tokens must be positive")
+    if context_start < 0:
+        raise ValueError("context_start must be non-negative")
+    _check_efficiency(attention_efficiency)
+
+    kv_dim = model.kv_dim_per_gpu(tp_degree)
+    heads = model.heads_per_gpu(tp_degree)
     effective_bw = gpu.memory_bandwidth * bandwidth_efficiency * attention_efficiency
 
-    kv_elements = 2.0 * batch_size * context_length * model.kv_dim
-    kv_read = kv_elements * kv_bytes_per_element / effective_bw
+    # Each query position q in the chunk attends over context_start + (its offset + 1) keys.
+    attended = chunk_tokens * context_start + chunk_tokens * (chunk_tokens + 1) / 2.0
 
-    new_kv_bytes = 2.0 * batch_size * model.kv_dim * kv_bytes_per_element
-    kv_write = new_kv_bytes / effective_bw
+    kv_read = 2.0 * context_start * kv_dim * kv_bytes_per_element / effective_bw
+    kv_write = 2.0 * chunk_tokens * kv_dim * kv_bytes_per_element / effective_bw
 
-    # q·K^T and p·V: 2 * batch * context * heads * head_dim MACs each -> 8 * B * L * hidden ops.
-    flops = 8.0 * batch_size * context_length * model.num_heads * model.head_dim
-    tensor_precision = Precision.FP16 if gpu.supports_precision(Precision.FP16) else Precision.INT8
-    compute = flops / (gpu.tensor_core_throughput(tensor_precision) * attention_efficiency)
-
+    flops = 8.0 * attended * heads * model.head_dim
+    # Prefill-style attention sustains lower Tensor-Core utilization than pure GEMM.
+    compute = flops / (
+        gpu.tensor_core_throughput(_tensor_precision(gpu)) * 0.6 * attention_efficiency
+    )
     return AttentionCost(
         kv_read=kv_read,
         kv_write=kv_write,
@@ -87,6 +196,7 @@ def prefill_attention_cost(
     prompt_length: int,
     bandwidth_efficiency: float = 0.85,
     attention_efficiency: float = 1.0,
+    tp_degree: int = 1,
 ) -> AttentionCost:
     """Cost of one prefill attention call for one layer (causal, compute-bound).
 
@@ -96,10 +206,14 @@ def prefill_attention_cost(
     """
     if batch_size <= 0 or prompt_length <= 0:
         raise ValueError("batch_size and prompt_length must be positive")
-    flops = 4.0 * batch_size * prompt_length * prompt_length * model.num_heads * model.head_dim / 2.0
-    tensor_precision = Precision.FP16 if gpu.supports_precision(Precision.FP16) else Precision.INT8
-    compute = flops / (gpu.tensor_core_throughput(tensor_precision) * 0.6 * attention_efficiency)
-    kv_write = 2.0 * batch_size * prompt_length * model.kv_dim * 2.0 / (
+    _check_efficiency(attention_efficiency)
+    heads = model.heads_per_gpu(tp_degree)
+    kv_dim = model.kv_dim_per_gpu(tp_degree)
+    flops = 4.0 * batch_size * prompt_length * prompt_length * heads * model.head_dim / 2.0
+    compute = flops / (
+        gpu.tensor_core_throughput(_tensor_precision(gpu)) * 0.6 * attention_efficiency
+    )
+    kv_write = 2.0 * batch_size * prompt_length * kv_dim * 2.0 / (
         gpu.memory_bandwidth * bandwidth_efficiency
     )
     return AttentionCost(kv_read=0.0, kv_write=kv_write, compute=compute,

@@ -11,9 +11,19 @@ The engine composes the substrates built elsewhere in the library:
 * KV-cache capacity from the paged allocator (:mod:`repro.serving.kvcache`) under the GPU
   memory budget, which bounds the usable batch size.
 
-From those it derives decode-step latency, end-to-end request latency (prefill + decode),
-token throughput at a fixed batch size, and the peak throughput over a batch sweep — the
-quantities the paper's system-level evaluation reports.
+Two families of entry points are exposed:
+
+* the **uniform-batch** analytical API (``decode_step_time``, ``prefill_time``,
+  ``throughput``, ``peak_throughput``) that reproduces the paper's fixed-batch numbers, and
+* the **ragged-batch** step-cost API (``ragged_decode_step_time``, ``chunked_prefill_time``,
+  ``mixed_step_time``) consumed by the request-level scheduler simulation: per-sequence
+  context lengths instead of one scalar, and mixed iterations that interleave decode tokens
+  with chunked prefill tokens in a single forward pass.
+
+Tensor parallelism (``tp_degree``) is threaded through everything: GEMM shapes, attention,
+weight memory and the KV budget are one GPU's Megatron-style shard, and every layer pays two
+ring all-reduces over the group interconnect.  Reported throughput is that of the whole TP
+group (the GPUs run in lockstep, so per-GPU step time is group step time).
 """
 
 from __future__ import annotations
@@ -29,13 +39,19 @@ from ..kernels.base import GemmKernel, as_device
 from ..kernels.registry import get_kernel
 from ..quant.kvcache import kv_bytes_per_element
 from ..workloads.shapes import decode_layer_gemms
-from .attention import decode_attention_cost, prefill_attention_cost
+from .attention import (
+    chunked_prefill_attention_cost,
+    decode_attention_cost,
+    prefill_attention_cost,
+    ragged_decode_attention_cost,
+)
 from .kvcache import KvCacheConfig, PagedKvCache
 from .models import ModelConfig, get_model
 from .systems import SystemProfile, get_system
 
 __all__ = [
     "LayerBreakdown",
+    "PrefillChunk",
     "ThroughputPoint",
     "ServingResult",
     "ServingEngine",
@@ -46,29 +62,51 @@ _ACTIVATION_RESERVE_BYTES = 2 * 2**30
 #: Element-wise passes over the hidden state per layer (2 layer norms, rotary, 2 residuals,
 #: SwiGLU multiply, activation quantization) in units of (read+write) hidden-state sweeps.
 _ELEMENTWISE_PASSES = 7.0
+#: Launch/synchronization latency of one NCCL collective over the TP group.
+_ALLREDUCE_LATENCY_S = 8.0e-6
 
 
 @dataclass
 class LayerBreakdown:
-    """Per-layer decode-step time split (seconds) — the Figure 4 / Figure 10 quantity."""
+    """Per-layer decode-step time split (seconds) — the Figure 4 / Figure 10 quantity.
+
+    ``comm`` is the tensor-parallel all-reduce share; it is zero for single-GPU configs, so
+    the historical three-way split is unchanged there.
+    """
 
     gemm: float
     attention: float
     others: float
+    comm: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.gemm + self.attention + self.others
+        return self.gemm + self.attention + self.others + self.comm
 
     def fractions(self) -> Dict[str, float]:
         total = self.total
         if total <= 0:
-            return {"gemm": 0.0, "attention": 0.0, "others": 0.0}
+            return {"gemm": 0.0, "attention": 0.0, "others": 0.0, "comm": 0.0}
         return {
             "gemm": self.gemm / total,
             "attention": self.attention / total,
             "others": self.others / total,
+            "comm": self.comm / total,
         }
+
+
+@dataclass(frozen=True)
+class PrefillChunk:
+    """One prompt chunk processed inside a mixed scheduler iteration.
+
+    ``tokens`` new prompt positions are prefilled on top of ``context_start`` tokens already
+    resident in the KV cache.  ``produces_token`` marks the chunk that completes the prompt:
+    its last position runs the LM head and emits the request's first output token.
+    """
+
+    tokens: int
+    context_start: int
+    produces_token: bool = False
 
 
 @dataclass
@@ -92,6 +130,7 @@ class ServingResult:
     peak_batch_size: int
     sweep: List[ThroughputPoint] = field(default_factory=list)
     oom: bool = False
+    tp_degree: int = 1
 
     @property
     def label(self) -> str:
@@ -101,27 +140,35 @@ class ServingResult:
 
 
 class ServingEngine:
-    """Performance model of one serving system running one model on one GPU."""
+    """Performance model of one serving system running one model on one GPU (or TP group)."""
 
-    def __init__(self, system, model, device="H800"):
+    def __init__(self, system, model, device="H800", tp_degree: int = 1):
         self.system: SystemProfile = system if isinstance(system, SystemProfile) else get_system(system)
         self.model: ModelConfig = model if isinstance(model, ModelConfig) else get_model(model)
         self.device: Device = as_device(device)
+        self.model.validate_tp(tp_degree)
+        self.tp_degree = tp_degree
         self.kernel: GemmKernel = get_kernel(self.system.kernel)
         self._fp16_kernel = get_kernel("fp16")
         if self.model.is_moe and not self.system.supports_moe:
             self.supported = False
         else:
             self.supported = True
+        # Step-cost caches: GEMM/LM-head latency depends only on the iteration token count,
+        # which the request-level simulation hits thousands of times.
+        self._gemm_time_cache: Dict[int, float] = {}
+        self._lm_head_cache: Dict[int, float] = {}
 
     # ------------------------------------------------------------------ memory accounting
     def weight_memory_bytes(self) -> int:
-        """GPU memory occupied by model weights in this system's format."""
-        linear = self.model.gemm_weight_params() * self.system.weight_bytes_per_param
-        embeddings = self.model.embedding_params() * 2.0  # embeddings / LM head kept FP16
+        """GPU memory occupied by one GPU's shard of the model weights."""
+        linear = self.model.gemm_weight_params_per_gpu(self.tp_degree) * self.system.weight_bytes_per_param
+        # Embeddings / LM head kept FP16, vocab-parallel across the TP group.
+        embeddings = self.model.embedding_params() * 2.0 / self.tp_degree
         return int(linear + embeddings)
 
     def kv_budget_bytes(self) -> int:
+        """Per-GPU KV-cache budget after weights and the activation reserve."""
         budget = (
             self.device.spec.memory_capacity
             - self.weight_memory_bytes()
@@ -134,6 +181,7 @@ class ServingEngine:
             model=self.model,
             kv_format=self.system.kv_format,
             memory_budget_bytes=self.kv_budget_bytes(),
+            tp_degree=self.tp_degree,
         )
 
     def max_batch_size(self, tokens_per_sequence: int) -> int:
@@ -144,10 +192,36 @@ class ServingEngine:
         capacity = PagedKvCache.max_batch_size(config, tokens_per_sequence)
         return min(capacity, self.system.max_batch_size)
 
+    # ------------------------------------------------------------------ collectives
+    def allreduce_time(self, num_tokens: int) -> float:
+        """One FP16 ring all-reduce of ``num_tokens`` hidden-state vectors over the TP group."""
+        if self.tp_degree == 1 or num_tokens <= 0:
+            return 0.0
+        payload = num_tokens * self.model.hidden_size * 2.0
+        ring = (
+            2.0 * (self.tp_degree - 1) / self.tp_degree * payload
+            / self.device.spec.interconnect_bandwidth
+        )
+        return ring + _ALLREDUCE_LATENCY_S
+
+    def _logits_gather_time(self, num_tokens: int) -> float:
+        """All-gather of the vocab-parallel logits after the LM head."""
+        if self.tp_degree == 1 or num_tokens <= 0:
+            return 0.0
+        payload = num_tokens * self.model.vocab_size * 2.0
+        ring = (
+            (self.tp_degree - 1) / self.tp_degree * payload
+            / self.device.spec.interconnect_bandwidth
+        )
+        return ring + _ALLREDUCE_LATENCY_S
+
     # ------------------------------------------------------------------ per-layer timing
-    def layer_gemm_time(self, batch_size: int) -> float:
-        """Decode-step GEMM time of one transformer layer."""
-        gemms = decode_layer_gemms(self.model, batch_size)
+    def layer_gemm_time(self, num_tokens: int) -> float:
+        """Per-GPU GEMM time of one transformer layer processing ``num_tokens`` tokens."""
+        cached = self._gemm_time_cache.get(num_tokens)
+        if cached is not None:
+            return cached
+        gemms = decode_layer_gemms(self.model, num_tokens, tp_degree=self.tp_degree)
         total = 0.0
         for shape in gemms.attention_gemms():
             total += self.kernel.estimate(shape, self.device).latency_s
@@ -162,6 +236,7 @@ class ServingEngine:
         else:
             for shape in gemms.ffn_gemms():
                 total += self.kernel.estimate(shape, self.device).latency_s
+        self._gemm_time_cache[num_tokens] = total
         return total
 
     def layer_attention_time(self, batch_size: int, context_length: int) -> float:
@@ -172,12 +247,13 @@ class ServingEngine:
             context_length,
             kv_bytes_per_element(self.system.kv_format),
             attention_efficiency=self.system.attention_efficiency,
+            tp_degree=self.tp_degree,
         )
         return cost.total
 
-    def layer_others_time(self, batch_size: int) -> float:
+    def layer_others_time(self, num_tokens: int) -> float:
         elementwise_bytes = (
-            _ELEMENTWISE_PASSES * 2.0 * batch_size * self.model.hidden_size * 2.0
+            _ELEMENTWISE_PASSES * 2.0 * num_tokens * self.model.hidden_size * 2.0
         )
         elementwise = elementwise_bytes / (self.device.spec.memory_bandwidth * 0.7)
         fixed = 6.0e-6 + self.system.framework_overhead_per_layer_s
@@ -189,25 +265,95 @@ class ServingEngine:
             gemm=self.layer_gemm_time(batch_size),
             attention=self.layer_attention_time(batch_size, context_length),
             others=self.layer_others_time(batch_size),
+            comm=2.0 * self.allreduce_time(batch_size),
         )
 
     # ------------------------------------------------------------------ step / request timing
-    def lm_head_time(self, batch_size: int) -> float:
-        shape = GemmShape(batch_size, self.model.vocab_size, self.model.hidden_size)
-        return self._fp16_kernel.estimate(shape, self.device).latency_s
+    def lm_head_time(self, num_tokens: int) -> float:
+        if num_tokens <= 0:
+            return 0.0
+        cached = self._lm_head_cache.get(num_tokens)
+        if cached is not None:
+            return cached
+        shape = GemmShape(num_tokens, self.model.vocab_size // self.tp_degree, self.model.hidden_size)
+        total = self._fp16_kernel.estimate(shape, self.device).latency_s
+        total += self._logits_gather_time(num_tokens)
+        self._lm_head_cache[num_tokens] = total
+        return total
 
     def decode_step_time(self, batch_size: int, context_length: int) -> float:
-        """Latency of generating one token for every sequence in the batch."""
+        """Latency of generating one token for every sequence in a uniform batch."""
         per_layer = self.layer_breakdown(batch_size, context_length).total
         return per_layer * self.model.num_layers + self.lm_head_time(batch_size)
+
+    def ragged_decode_step_time(self, context_lengths: Sequence[int]) -> float:
+        """Latency of one decode iteration over a ragged batch.
+
+        Each sequence is charged attention over *its own* cached context instead of the batch
+        maximum — the uniform :meth:`decode_step_time` is the equal-lengths special case.
+        """
+        return self.mixed_step_time(context_lengths, [])
+
+    def chunked_prefill_time(self, chunk_tokens: int, context_start: int = 0) -> float:
+        """Latency of prefilling one chunk of a single prompt (no decode tokens alongside)."""
+        return self.mixed_step_time([], [PrefillChunk(chunk_tokens, context_start)])
+
+    def mixed_step_time(
+        self,
+        decode_context_lengths: Sequence[int],
+        prefill_chunks: Sequence[PrefillChunk] = (),
+    ) -> float:
+        """Latency of one mixed scheduler iteration (ragged decode + chunked prefill).
+
+        All decode tokens and prefill-chunk tokens share a single ragged forward pass: the
+        layer GEMMs and element-wise kernels see the combined token count, while attention is
+        charged per sequence (decode) and per chunk (prefill).  The LM head runs only for the
+        positions that emit a token: every decode sequence plus prompt-completing chunks.
+        """
+        decode_batch = len(decode_context_lengths)
+        prefill_tokens = sum(c.tokens for c in prefill_chunks)
+        total_tokens = decode_batch + prefill_tokens
+        if total_tokens <= 0:
+            raise ValueError("an iteration must process at least one token")
+
+        attention = 0.0
+        if decode_batch:
+            attention += ragged_decode_attention_cost(
+                self.model,
+                self.device.spec,
+                decode_context_lengths,
+                kv_bytes_per_element(self.system.kv_format),
+                attention_efficiency=self.system.attention_efficiency,
+                tp_degree=self.tp_degree,
+            ).total
+        for chunk in prefill_chunks:
+            attention += chunked_prefill_attention_cost(
+                self.model,
+                self.device.spec,
+                chunk.tokens,
+                chunk.context_start,
+                kv_bytes_per_element(self.system.kv_format),
+                attention_efficiency=self.system.attention_efficiency,
+                tp_degree=self.tp_degree,
+            ).total
+
+        per_layer = (
+            self.layer_gemm_time(total_tokens)
+            + attention
+            + self.layer_others_time(total_tokens)
+            + 2.0 * self.allreduce_time(total_tokens)
+        )
+        logits_tokens = decode_batch + sum(1 for c in prefill_chunks if c.produces_token)
+        return per_layer * self.model.num_layers + self.lm_head_time(logits_tokens)
 
     def prefill_time(self, batch_size: int, prompt_length: int) -> float:
         """Approximate prompt-processing time for a batch of requests.
 
-        Prefill GEMMs are compute-bound; we charge the model's full forward FLOPs at a
-        sustained fraction of the Tensor-Core peak, plus the quadratic attention term.
+        Prefill GEMMs are compute-bound; we charge one GPU's share of the model's full
+        forward FLOPs at a sustained fraction of the Tensor-Core peak, plus the quadratic
+        attention term and the per-layer tensor-parallel all-reduces.
         """
-        flops = 2.0 * batch_size * prompt_length * self.model.active_params_per_token()
+        flops = 2.0 * batch_size * prompt_length * self.model.active_params_per_token() / self.tp_degree
         mma_precision = self.kernel.cost_params(self.device.spec).mma_precision
         peak = self.device.spec.tensor_core_throughput(mma_precision)
         gemm = flops / (peak * 0.75)
@@ -215,10 +361,12 @@ class ServingEngine:
             prefill_attention_cost(
                 self.model, self.device.spec, batch_size, prompt_length,
                 attention_efficiency=self.system.attention_efficiency,
+                tp_degree=self.tp_degree,
             ).total
             * self.model.num_layers
         )
-        return gemm + attention
+        comm = 2.0 * self.allreduce_time(batch_size * prompt_length) * self.model.num_layers
+        return gemm + attention + comm
 
     # ------------------------------------------------------------------ throughput
     def throughput(self, batch_size: int, input_len: int = 1024, output_len: int = 512
@@ -228,7 +376,7 @@ class ServingEngine:
         A batch of requests is processed as: one prefill over ``input_len`` tokens, then
         ``output_len`` decode steps with the context growing from ``input_len`` to
         ``input_len + output_len``.  Throughput counts generated tokens only, matching the
-        paper's tokens/s metric.
+        paper's tokens/s metric; for TP groups it is the throughput of the whole group.
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -259,11 +407,13 @@ class ServingEngine:
         """Search batch sizes (1..256, plus the memory limit) for the peak throughput."""
         if not self.supported:
             return ServingResult(system=self.system.name, model=self.model.name,
-                                 peak_throughput=0.0, peak_batch_size=0, oom=True)
+                                 peak_throughput=0.0, peak_batch_size=0, oom=True,
+                                 tp_degree=self.tp_degree)
         max_batch = self.max_batch_size(input_len + output_len)
         if max_batch < 1:
             return ServingResult(system=self.system.name, model=self.model.name,
-                                 peak_throughput=0.0, peak_batch_size=0, oom=True)
+                                 peak_throughput=0.0, peak_batch_size=0, oom=True,
+                                 tp_degree=self.tp_degree)
 
         if batch_sizes is None:
             batch_sizes = [1, 2, 4, 8, 13, 16, 24, 32, 36, 45, 46, 48, 53, 64, 96, 100, 109,
@@ -284,4 +434,5 @@ class ServingEngine:
             peak_throughput=best.tokens_per_second,
             peak_batch_size=best.batch_size,
             sweep=sweep,
+            tp_degree=self.tp_degree,
         )

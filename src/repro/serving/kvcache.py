@@ -26,17 +26,26 @@ class KvCacheOutOfMemory(RuntimeError):
 
 @dataclass(frozen=True)
 class KvCacheConfig:
-    """Static configuration of the paged KV-cache pool."""
+    """Static configuration of the paged KV-cache pool.
+
+    With tensor parallelism (``tp_degree > 1``) the pool models *one GPU's* shard: each GPU
+    stores only its KV heads, so a token costs ``kv_dim_per_gpu / kv_dim`` of the full-model
+    bytes and the per-GPU memory budget bounds the shared batch.
+    """
 
     model: ModelConfig
     kv_format: str = "int8"
     block_tokens: int = 16            # tokens per block (vLLM default granularity)
     memory_budget_bytes: int = 0      # pool size; set by the serving engine
+    tp_degree: int = 1                # tensor-parallel group size (per-GPU shard accounting)
 
     @property
     def bytes_per_token(self) -> float:
-        """KV bytes one token occupies across all layers (K and V, all KV heads)."""
-        return self.model.kv_bytes_per_token(kv_bytes_per_element(self.kv_format))
+        """KV bytes one token occupies on one GPU across all layers (K and V)."""
+        full = self.model.kv_bytes_per_token(kv_bytes_per_element(self.kv_format))
+        if self.tp_degree == 1:
+            return full
+        return full * self.model.kv_dim_per_gpu(self.tp_degree) / self.model.kv_dim
 
     @property
     def bytes_per_block(self) -> int:
@@ -102,6 +111,15 @@ class PagedKvCache:
         """Would a new sequence of ``num_tokens`` fit right now?"""
         return self.config.blocks_for_tokens(num_tokens) <= self.num_free_blocks
 
+    def blocks_needed_to_extend(self, seq_id: int, num_tokens: int = 1) -> int:
+        """Additional blocks a resident sequence needs to grow by ``num_tokens`` tokens."""
+        state = self._sequences.get(seq_id)
+        if state is None:
+            raise KeyError(f"unknown sequence {seq_id}")
+        if num_tokens < 0:
+            raise ValueError("num_tokens must be non-negative")
+        return max(0, self.config.blocks_for_tokens(state.num_tokens + num_tokens) - state.num_blocks)
+
     # ------------------------------------------------------------------ mutation
     def add_sequence(self, seq_id: int, prompt_tokens: int) -> SequenceState:
         """Admit a new sequence with its prompt already cached (prefill)."""
@@ -121,15 +139,27 @@ class PagedKvCache:
 
     def append_token(self, seq_id: int) -> SequenceState:
         """Grow a sequence by one decoded token, allocating a new block when needed."""
+        return self.extend_sequence(seq_id, 1)
+
+    def extend_sequence(self, seq_id: int, num_tokens: int) -> SequenceState:
+        """Grow a resident sequence by ``num_tokens`` tokens (e.g. one prefill chunk).
+
+        Allocation is all-or-nothing: if the pool cannot supply every block the extension
+        needs, :class:`KvCacheOutOfMemory` is raised and the sequence is left unchanged.
+        """
         state = self._sequences.get(seq_id)
         if state is None:
             raise KeyError(f"unknown sequence {seq_id}")
-        new_total = state.num_tokens + 1
-        if self.config.blocks_for_tokens(new_total) > state.num_blocks:
-            if not self._free_blocks:
-                raise KvCacheOutOfMemory(f"no free block for sequence {seq_id}")
-            state.blocks.append(self._free_blocks.pop())
-        state.num_tokens = new_total
+        if num_tokens < 0:
+            raise ValueError("num_tokens must be non-negative")
+        needed = self.blocks_needed_to_extend(seq_id, num_tokens)
+        if needed > self.num_free_blocks:
+            raise KvCacheOutOfMemory(
+                f"sequence {seq_id} needs {needed} blocks to grow by {num_tokens} tokens, "
+                f"only {self.num_free_blocks} free"
+            )
+        state.blocks.extend(self._free_blocks.pop() for _ in range(needed))
+        state.num_tokens += num_tokens
         return state
 
     def free_sequence(self, seq_id: int) -> int:

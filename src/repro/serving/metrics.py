@@ -1,0 +1,135 @@
+"""Per-request serving metrics and SLO attainment (TTFT, TPOT, goodput).
+
+Production serving systems are judged on latency *distributions*, not means: the paper's
+system-level evaluation reports throughput, but a trace-driven simulation lets us also measure
+time-to-first-token (TTFT), time-per-output-token (TPOT) and *goodput* — the rate of requests
+that meet both SLOs — the metrics used by DistServe/Sarathi-style serving work.
+
+The scheduler records raw timestamps on each :class:`~repro.serving.scheduler.Request`; this
+module turns a finished population of requests into percentile summaries and an SLO report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["percentile", "RequestMetrics", "SloSpec", "SloReport", "request_metrics",
+           "compute_slo_report"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of an unsorted sequence."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    rank = (len(data) - 1) * q / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return data[lo]
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Latency decomposition of one completed request."""
+
+    request_id: int
+    ttft_s: float                 # arrival -> first output token
+    latency_s: float              # arrival -> completion
+    tpot_s: float                 # mean inter-token time after the first (0 if 1 token)
+    output_tokens: int
+    preemptions: int
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """Latency service-level objectives a request must meet to count toward goodput."""
+
+    ttft_s: float = 2.0
+    tpot_s: float = 0.1
+
+    def met_by(self, m: RequestMetrics) -> bool:
+        return m.ttft_s <= self.ttft_s and m.tpot_s <= self.tpot_s
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """Population summary of one simulation run against an :class:`SloSpec`."""
+
+    slo: SloSpec
+    completed: int
+    slo_attained: int
+    makespan_s: float
+    mean_ttft_s: float
+    p50_ttft_s: float
+    p99_ttft_s: float
+    mean_tpot_s: float
+    p50_tpot_s: float
+    p99_tpot_s: float
+    mean_latency_s: float
+    p50_latency_s: float
+    p99_latency_s: float
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of completed requests that met both SLOs."""
+        return self.slo_attained / self.completed if self.completed else 0.0
+
+    @property
+    def goodput_rps(self) -> float:
+        """SLO-attaining requests completed per second of simulated time."""
+        return self.slo_attained / self.makespan_s if self.makespan_s > 0 else 0.0
+
+
+def request_metrics(requests: Iterable) -> List[RequestMetrics]:
+    """Extract metrics from completed requests (others are skipped)."""
+    out: List[RequestMetrics] = []
+    for r in requests:
+        if r.first_token_time_s is None or r.completion_time_s is None:
+            continue
+        decode_tokens = max(0, r.output_tokens - 1)
+        decode_span = r.completion_time_s - r.first_token_time_s
+        out.append(RequestMetrics(
+            request_id=r.request_id,
+            ttft_s=r.first_token_time_s - r.arrival_time_s,
+            latency_s=r.completion_time_s - r.arrival_time_s,
+            tpot_s=decode_span / decode_tokens if decode_tokens else 0.0,
+            output_tokens=r.output_tokens,
+            preemptions=getattr(r, "preemptions", 0),
+        ))
+    return out
+
+
+def compute_slo_report(requests: Iterable, slo: Optional[SloSpec] = None,
+                       makespan_s: float = 0.0) -> SloReport:
+    """Summarize a completed request population against ``slo``."""
+    slo = slo or SloSpec()
+    metrics = request_metrics(requests)
+    ttfts = [m.ttft_s for m in metrics]
+    # TPOT is undefined for single-token answers (tpot_s = 0.0): they meet any TPOT SLO
+    # vacuously, but must not drag the percentile summary of real inter-token gaps down.
+    tpots = [m.tpot_s for m in metrics if m.output_tokens > 1]
+    latencies = [m.latency_s for m in metrics]
+    return SloReport(
+        slo=slo,
+        completed=len(metrics),
+        slo_attained=sum(1 for m in metrics if slo.met_by(m)),
+        makespan_s=makespan_s,
+        mean_ttft_s=sum(ttfts) / len(ttfts) if ttfts else 0.0,
+        p50_ttft_s=percentile(ttfts, 50),
+        p99_ttft_s=percentile(ttfts, 99),
+        mean_tpot_s=sum(tpots) / len(tpots) if tpots else 0.0,
+        p50_tpot_s=percentile(tpots, 50),
+        p99_tpot_s=percentile(tpots, 99),
+        mean_latency_s=sum(latencies) / len(latencies) if latencies else 0.0,
+        p50_latency_s=percentile(latencies, 50),
+        p99_latency_s=percentile(latencies, 99),
+    )

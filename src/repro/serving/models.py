@@ -94,6 +94,58 @@ class ModelConfig:
         """KV-cache bytes one token occupies across all layers (K and V)."""
         return 2.0 * self.kv_dim * self.num_layers * bytes_per_element
 
+    # ------------------------------------------------------------------ tensor parallelism
+    def validate_tp(self, tp_degree: int) -> None:
+        """Check that this model can be sharded ``tp_degree`` ways (Megatron-style).
+
+        Attention heads and the FFN intermediate width are split across GPUs; KV heads may
+        be *replicated* when ``tp_degree`` exceeds ``num_kv_heads`` (the standard GQA
+        sharding), so they impose no divisibility constraint.
+        """
+        if tp_degree < 1:
+            raise ValueError("tp_degree must be >= 1")
+        if self.num_heads % tp_degree != 0:
+            raise ValueError(
+                f"{self.name}: num_heads={self.num_heads} not divisible by tp_degree={tp_degree}"
+            )
+        if self.intermediate_size % tp_degree != 0:
+            raise ValueError(
+                f"{self.name}: intermediate_size={self.intermediate_size} not divisible by "
+                f"tp_degree={tp_degree}"
+            )
+
+    def heads_per_gpu(self, tp_degree: int) -> int:
+        """Query heads resident on one GPU of a ``tp_degree`` tensor-parallel group."""
+        self.validate_tp(tp_degree)
+        return self.num_heads // tp_degree
+
+    def kv_heads_per_gpu(self, tp_degree: int) -> int:
+        """KV heads per GPU; replicated (ceil) when ``tp_degree > num_kv_heads`` (GQA)."""
+        self.validate_tp(tp_degree)
+        return max(1, -(-self.num_kv_heads // tp_degree))
+
+    def kv_dim_per_gpu(self, tp_degree: int) -> int:
+        """Per-token K (or V) width in elements held by one GPU."""
+        return self.kv_heads_per_gpu(tp_degree) * self.head_dim
+
+    def kv_replication_factor(self, tp_degree: int) -> float:
+        """Total KV copies across the group divided by one full copy (1.0 = no replication)."""
+        return self.kv_heads_per_gpu(tp_degree) * tp_degree / self.num_kv_heads
+
+    def gemm_weight_params_per_gpu(self, tp_degree: int) -> int:
+        """Linear-layer parameters resident on one GPU of a ``tp_degree`` group.
+
+        QKV and gate/up projections are column-parallel, output and down projections are
+        row-parallel; K/V projection rows follow the (possibly replicated) KV-head shard, so
+        GQA models pay slightly more than ``1/tp_degree`` of the full model.
+        """
+        if tp_degree == 1:
+            return self.gemm_weight_params()
+        qkv_out = (self.heads_per_gpu(tp_degree) + 2 * self.kv_heads_per_gpu(tp_degree)) * self.head_dim
+        attention = self.hidden_size * qkv_out + self.hidden_size * (self.hidden_size // tp_degree)
+        ffn = self.num_experts * 3 * self.hidden_size * (self.intermediate_size // tp_degree)
+        return self.num_layers * (attention + ffn)
+
 
 MODELS: Dict[str, ModelConfig] = {
     "llama1-30b": ModelConfig(

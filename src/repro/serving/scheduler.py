@@ -1,22 +1,38 @@
-"""Continuous-batching scheduler simulation (Orca/vLLM-style iteration-level scheduling).
+"""Request-level continuous-batching simulation (Orca/vLLM-style iteration scheduling).
 
-Table 1 uses fixed-length batches, but a production serving system (Section 6) admits and
-retires requests continuously, bounded by the paged KV cache.  This module simulates that
-behaviour on top of the engine's step-time model: requests arrive with a prompt length and a
-target output length, are admitted when KV blocks are available, run decode steps batched
-together, and release their blocks on completion.  It is used by the ``llm_serving`` example
-and exercises the paged allocator under realistic churn (a good integration-test surface).
+Table 1 uses fixed-length batches, but a production serving system admits and retires
+requests continuously, bounded by the paged KV cache.  This module simulates that behaviour
+on top of the engine's *ragged* step-time model as an event-driven loop over scheduler
+iterations:
+
+* **Mixed iterations** — every iteration packs one decode token per running sequence plus
+  chunked-prefill tokens from admitting requests into a single ragged forward pass, under an
+  iteration token budget (the vLLM ``max_num_batched_tokens`` knob).  A long prompt therefore
+  never stalls running decodes for a full serial prefill (Sarathi-style chunked prefill).
+* **Per-sequence attention accounting** — decode attention is charged at each sequence's own
+  cached context length via :meth:`ServingEngine.mixed_step_time`, not at the batch maximum.
+* **Preemption and recompute** — when the paged KV pool runs dry mid-decode the scheduler
+  preempts the most recently arrived resident requests (vLLM's recompute policy): their
+  blocks are freed and they re-prefill prompt + already-emitted tokens before continuing.
+  :class:`KvCacheOutOfMemory` never propagates out of :meth:`run`.
+* **Heap admission** — pending arrivals sit in a min-heap keyed by arrival time; admission
+  pops are O(log n) instead of the old O(n) ``list.pop(0)``.
+
+Per-request timestamps (arrival, first token, completion, preemptions) are recorded so SLO
+metrics (p50/p99 TTFT, TPOT, goodput — :mod:`repro.serving.metrics`) can be computed on top.
 """
 
 from __future__ import annotations
 
+import copy
 import heapq
-import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
-from .engine import ServingEngine
+from .engine import PrefillChunk, ServingEngine
 from .kvcache import KvCacheOutOfMemory, PagedKvCache
+from .metrics import SloReport, SloSpec, compute_slo_report
 
 __all__ = ["Request", "SchedulerStats", "ContinuousBatchingScheduler"]
 
@@ -33,6 +49,10 @@ class Request:
     first_token_time_s: Optional[float] = None
     completion_time_s: Optional[float] = None
     generated: int = 0
+    preemptions: int = 0
+    # Prefill progress of the current pass (recompute restarts it over prompt + emitted):
+    prefilled: int = 0
+    prefill_target: int = 0
 
     @property
     def finished(self) -> bool:
@@ -50,6 +70,15 @@ class SchedulerStats:
     mean_latency_s: float
     peak_batch_size: int
     peak_kv_utilization: float
+    # Request-level extensions (defaults keep older call sites working):
+    p50_ttft_s: float = 0.0
+    p99_ttft_s: float = 0.0
+    mean_tpot_s: float = 0.0
+    p99_tpot_s: float = 0.0
+    preemptions: int = 0
+    num_iterations: int = 0
+    prefill_chunks: int = 0
+    requests: List[Request] = field(default_factory=list)
 
     @property
     def throughput_tokens_per_s(self) -> float:
@@ -57,55 +86,208 @@ class SchedulerStats:
             return 0.0
         return self.generated_tokens / self.simulated_time_s
 
+    def slo_report(self, slo: Optional[SloSpec] = None) -> SloReport:
+        """SLO attainment / goodput of the completed requests of this run."""
+        return compute_slo_report(self.requests, slo, makespan_s=self.simulated_time_s)
+
 
 class ContinuousBatchingScheduler:
-    """Iteration-level scheduler over the serving engine's analytic step times."""
+    """Iteration-level scheduler over the serving engine's ragged step-time model."""
 
-    def __init__(self, engine: ServingEngine, max_batch_size: Optional[int] = None):
+    def __init__(
+        self,
+        engine: ServingEngine,
+        max_batch_size: Optional[int] = None,
+        max_batched_tokens: Optional[int] = None,
+        prefill_chunk_tokens: int = 256,
+    ):
         self.engine = engine
+        if not engine.supported:
+            raise ValueError(
+                f"system {engine.system.name!r} does not support model {engine.model.name!r}"
+            )
         config = engine.kv_cache_config()
         if config.memory_budget_bytes <= 0:
             raise KvCacheOutOfMemory("model weights alone exceed the device memory budget")
+        if prefill_chunk_tokens < 1:
+            raise ValueError("prefill_chunk_tokens must be positive")
         self.kv_cache = PagedKvCache(config)
         self.max_batch_size = max_batch_size or engine.system.max_batch_size
+        self.max_batched_tokens = max_batched_tokens or engine.system.max_batched_tokens
+        self.prefill_chunk_tokens = min(prefill_chunk_tokens, self.max_batched_tokens)
 
+    # ------------------------------------------------------------------ internals
+    def _check_servable(self, request: Request) -> None:
+        if request.prompt_tokens < 1 or request.output_tokens < 1:
+            raise ValueError(
+                f"request {request.request_id}: prompt_tokens and output_tokens must be >= 1"
+            )
+        # The last generated token is never appended to the cache (it is never an input),
+        # so peak residency is prompt + output - 1 tokens.
+        peak_tokens = request.prompt_tokens + request.output_tokens - 1
+        needed = self.kv_cache.config.blocks_for_tokens(peak_tokens)
+        if needed > self.kv_cache.config.total_blocks:
+            raise ValueError(
+                f"request {request.request_id} needs {needed} KV blocks at peak but the pool "
+                f"has only {self.kv_cache.config.total_blocks}; it can never be scheduled"
+            )
+
+    def _preempt(self, victim: Request, prefilling: List[Request], running: List[Request],
+                 waiting: Deque[Request]) -> None:
+        """Evict ``victim`` (recompute policy): free its blocks and requeue it first."""
+        self.kv_cache.free_sequence(victim.request_id)
+        victim.preemptions += 1
+        victim.prefilled = 0
+        # Re-prefill the prompt plus every already-emitted token except the newest (whose KV
+        # was never written); emitted tokens themselves are kept — recompute only rebuilds KV.
+        victim.prefill_target = victim.prompt_tokens + max(0, victim.generated - 1)
+        if victim in prefilling:
+            prefilling.remove(victim)
+        else:
+            running.remove(victim)
+        waiting.appendleft(victim)
+
+    def _pick_victim(self, prefilling: List[Request], running: List[Request],
+                     exclude: Optional[Request] = None) -> Optional[Request]:
+        """Latest-arrival resident request (vLLM preempts the lowest-priority sequence)."""
+        candidates = [r for r in prefilling + running if r is not exclude]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: (r.arrival_time_s, r.request_id))
+
+    # ------------------------------------------------------------------ simulation
     def run(self, requests: Sequence[Request]) -> SchedulerStats:
-        """Simulate serving ``requests`` to completion and return aggregate statistics."""
-        pending: List[Request] = sorted(requests, key=lambda r: r.arrival_time_s)
+        """Simulate serving ``requests`` to completion and return aggregate statistics.
+
+        Never propagates :class:`KvCacheOutOfMemory`: KV exhaustion is absorbed by
+        preempting resident requests and recomputing them later.
+
+        Scheduler-owned fields on each request (timestamps, progress counters) are reset on
+        entry, so the same trace can be re-run — e.g. to A/B two systems — without stale
+        state leaking between runs.
+        """
+        for request in requests:
+            self._check_servable(request)
+            request.first_token_time_s = None
+            request.completion_time_s = None
+            request.generated = 0
+            request.preemptions = 0
+            request.prefilled = 0
+            request.prefill_target = 0
+
+        arrivals: List[Tuple[float, int, Request]] = [
+            (r.arrival_time_s, r.request_id, r) for r in requests
+        ]
+        heapq.heapify(arrivals)
+        waiting: Deque[Request] = deque()
+        prefilling: List[Request] = []
         running: List[Request] = []
-        clock = 0.0
         completed: List[Request] = []
+
+        clock = 0.0
         generated_tokens = 0
         peak_batch = 0
         peak_util = 0.0
+        preemption_count = 0
+        num_iterations = 0
+        chunk_count = 0
 
-        while pending or running:
-            # Admit arrived requests while KV blocks and batch slots remain.
-            while pending and pending[0].arrival_time_s <= clock and len(running) < self.max_batch_size:
-                request = pending[0]
-                if not self.kv_cache.can_admit(request.prompt_tokens + 1):
-                    break
-                pending.pop(0)
-                self.kv_cache.add_sequence(request.request_id, request.prompt_tokens)
-                clock += self.engine.prefill_time(1, request.prompt_tokens)
-                request.first_token_time_s = clock
-                running.append(request)
+        def preempt_one(exclude: Optional[Request] = None) -> bool:
+            nonlocal preemption_count
+            victim = self._pick_victim(prefilling, running, exclude)
+            if victim is None:
+                return False
+            self._preempt(victim, prefilling, running, waiting)
+            preemption_count += 1
+            return True
 
-            if not running:
-                # Idle until the next arrival.
-                clock = max(clock, pending[0].arrival_time_s)
+        while arrivals or waiting or prefilling or running:
+            # ---- admit arrived requests into the waiting queue (heap pop, O(log n)).
+            while arrivals and arrivals[0][0] <= clock:
+                waiting.append(heapq.heappop(arrivals)[2])
+            if not (waiting or prefilling or running):
+                clock = arrivals[0][0]
                 continue
 
-            # One decode iteration for the whole running batch.
-            batch = len(running)
-            peak_batch = max(peak_batch, batch)
-            context = max(
-                self.kv_cache.sequence(r.request_id).num_tokens for r in running
-            )
-            clock += self.engine.decode_step_time(batch, max(1, context))
+            # ---- reserve one decode slot per running sequence, preempting on exhaustion.
+            preemptions_before_iteration = preemption_count
+            reserved_context: Dict[int, int] = {}
+            for request in list(running):
+                if request not in running:
+                    continue  # evicted while making room for an earlier sequence
+                while True:
+                    context = self.kv_cache.sequence(request.request_id).num_tokens
+                    try:
+                        self.kv_cache.append_token(request.request_id)
+                        reserved_context[request.request_id] = context
+                        break
+                    except KvCacheOutOfMemory:
+                        if not preempt_one(exclude=request):  # pragma: no cover - guarded
+                            raise RuntimeError(
+                                "KV pool too small for a single request despite admission guard"
+                            )
+            # Victims evicted after reserving their slot must not be charged (or decoded).
+            contexts = [reserved_context[r.request_id] for r in running]
+            decode_batch = len(contexts)
+
+            # ---- plan chunked prefill under the iteration token budget.
+            budget = max(0, self.max_batched_tokens - decode_batch)
+            chunks: List[Tuple[Request, PrefillChunk]] = []
+            for request in list(prefilling):
+                if budget <= 0:
+                    break
+                remaining = request.prefill_target - request.prefilled
+                take = min(remaining, self.prefill_chunk_tokens, budget)
+                if take <= 0:
+                    continue
+                try:
+                    self.kv_cache.extend_sequence(request.request_id, take)
+                except KvCacheOutOfMemory:
+                    continue  # resume this prefill once decode churn frees blocks
+                is_last = request.prefilled + take >= request.prefill_target
+                produces = is_last and request.first_token_time_s is None
+                chunks.append((request, PrefillChunk(take, request.prefilled, produces)))
+                budget -= take
+
+            # ---- admit new requests (skip while this iteration already preempted, so a
+            # just-evicted victim cannot immediately reclaim the freed blocks and thrash).
+            if preemption_count == preemptions_before_iteration:
+                while (
+                    waiting
+                    and budget > 0
+                    and len(running) + len(prefilling) < self.max_batch_size
+                ):
+                    request = waiting[0]
+                    if request.prefill_target <= 0:
+                        request.prefill_target = request.prompt_tokens
+                    take = min(request.prefill_target, self.prefill_chunk_tokens, budget)
+                    if not self.kv_cache.can_admit(take):
+                        break
+                    waiting.popleft()
+                    self.kv_cache.add_sequence(request.request_id, 0)
+                    self.kv_cache.extend_sequence(request.request_id, take)
+                    prefilling.append(request)
+                    is_last = take >= request.prefill_target
+                    produces = is_last and request.first_token_time_s is None
+                    chunks.append((request, PrefillChunk(take, 0, produces)))
+                    budget -= take
+
+            if decode_batch == 0 and not chunks:
+                # Every resident prefill is blocked on KV with nothing decoding: evict the
+                # latest arrival so the earliest can make progress (bounded by residents).
+                if prefilling or running:
+                    if preempt_one():
+                        continue
+                raise RuntimeError("scheduler made no progress")  # pragma: no cover
+
+            # ---- one mixed iteration: ragged decode + prefill chunks in one forward pass.
+            clock += self.engine.mixed_step_time(contexts, [c for _, c in chunks])
+            num_iterations += 1
+            chunk_count += len(chunks)
+
+            # ---- decode bookkeeping: every running sequence emitted one token.
             still_running: List[Request] = []
             for request in running:
-                self.kv_cache.append_token(request.request_id)
                 request.generated += 1
                 generated_tokens += 1
                 if request.finished:
@@ -115,18 +297,45 @@ class ContinuousBatchingScheduler:
                 else:
                     still_running.append(request)
             running = still_running
+
+            # ---- prefill bookkeeping: advance chunks; completed prefills start decoding.
+            for request, chunk in chunks:
+                request.prefilled += chunk.tokens
+                if request.prefilled < request.prefill_target:
+                    continue
+                prefilling.remove(request)
+                if chunk.produces_token:
+                    request.first_token_time_s = clock
+                    request.generated += 1
+                    generated_tokens += 1
+                if request.finished:
+                    request.completion_time_s = clock
+                    self.kv_cache.free_sequence(request.request_id)
+                    completed.append(request)
+                else:
+                    running.append(request)
+
+            peak_batch = max(peak_batch, decode_batch + len(chunks))
             peak_util = max(peak_util, self.kv_cache.utilization())
 
-        ttfts = [r.first_token_time_s - r.arrival_time_s for r in completed
-                 if r.first_token_time_s is not None]
-        latencies = [r.completion_time_s - r.arrival_time_s for r in completed
-                     if r.completion_time_s is not None]
+        # Snapshot the requests: run() resets/rewrites the caller's objects on a re-run, and
+        # the stats (and their slo_report()) must keep describing *this* run afterwards.
+        snapshot = [copy.copy(r) for r in completed]
+        summary = compute_slo_report(snapshot, makespan_s=clock)
         return SchedulerStats(
             simulated_time_s=clock,
-            completed_requests=len(completed),
+            completed_requests=len(snapshot),
             generated_tokens=generated_tokens,
-            mean_ttft_s=sum(ttfts) / len(ttfts) if ttfts else 0.0,
-            mean_latency_s=sum(latencies) / len(latencies) if latencies else 0.0,
+            mean_ttft_s=summary.mean_ttft_s,
+            mean_latency_s=summary.mean_latency_s,
             peak_batch_size=peak_batch,
             peak_kv_utilization=peak_util,
+            p50_ttft_s=summary.p50_ttft_s,
+            p99_ttft_s=summary.p99_ttft_s,
+            mean_tpot_s=summary.mean_tpot_s,
+            p99_tpot_s=summary.p99_tpot_s,
+            preemptions=preemption_count,
+            num_iterations=num_iterations,
+            prefill_chunks=chunk_count,
+            requests=snapshot,
         )

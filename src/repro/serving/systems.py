@@ -38,6 +38,10 @@ class SystemProfile:
     others_scale: float = 1.0        # multiplier on the element-wise "Others" bucket
     supports_moe: bool = True        # TRT-W8A8 lacks Mixtral support (Table 1 "NA")
     max_batch_size: int = 256        # largest batch the system's runtime supports
+    #: Iteration-level token budget (decode tokens + prefill-chunk tokens per scheduler
+    #: iteration, the vLLM ``max_num_batched_tokens`` knob).  Bounds chunked prefill so a
+    #: long prompt cannot stall running decodes for a whole serial prefill.
+    max_batched_tokens: int = 2048
 
     def __post_init__(self):
         if self.weight_bytes_per_param <= 0:
@@ -46,6 +50,8 @@ class SystemProfile:
             raise ValueError("attention_efficiency must be in (0, 1]")
         if self.framework_overhead_per_layer_s < 0:
             raise ValueError("framework overhead must be non-negative")
+        if self.max_batched_tokens < 1:
+            raise ValueError("max_batched_tokens must be positive")
 
 
 #: Deployed bytes per parameter for the two-level 4-bit formats: 4-bit codes plus one byte of

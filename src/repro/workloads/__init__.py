@@ -1,4 +1,4 @@
-"""Workload generators: per-model layer GEMM shapes and batch sweeps."""
+"""Workload generators: per-model layer GEMM shapes, batch sweeps, and request traces."""
 
 from .shapes import (
     PAPER_BATCH_SIZES,
@@ -7,6 +7,14 @@ from .shapes import (
     decode_layer_gemms,
     moe_expert_batch,
 )
+from .traces import (
+    SHAREGPT_OUTPUTS,
+    SHAREGPT_PROMPTS,
+    ArrivalProcess,
+    LengthDistribution,
+    generate_trace,
+    sharegpt_trace,
+)
 
 __all__ = [
     "PAPER_BATCH_SIZES",
@@ -14,4 +22,10 @@ __all__ = [
     "batch_sweep",
     "decode_layer_gemms",
     "moe_expert_batch",
+    "ArrivalProcess",
+    "LengthDistribution",
+    "SHAREGPT_PROMPTS",
+    "SHAREGPT_OUTPUTS",
+    "generate_trace",
+    "sharegpt_trace",
 ]

@@ -65,26 +65,35 @@ def moe_expert_batch(batch_size: int, model: ModelConfig) -> int:
     return max(1, math.ceil(per_expert))
 
 
-def decode_layer_gemms(model: ModelConfig, batch_size: int) -> LayerGemms:
-    """GEMM shapes of one decode step of one layer at ``batch_size`` concurrent sequences."""
+def decode_layer_gemms(model: ModelConfig, batch_size: int, tp_degree: int = 1) -> LayerGemms:
+    """GEMM shapes of one decode step of one layer at ``batch_size`` concurrent tokens.
+
+    With ``tp_degree > 1`` the shapes are *one GPU's shard* under Megatron-style tensor
+    parallelism: QKV and gate/up are column-parallel (output width divided), the output and
+    down projections are row-parallel (reduction width divided, followed by an all-reduce
+    that the serving engine charges separately).
+    """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
-    qkv = GemmShape(batch_size, model.qkv_output_dim, model.hidden_size)
-    out_proj = GemmShape(batch_size, model.hidden_size, model.hidden_size)
+    model.validate_tp(tp_degree)
+    qkv_out = (model.heads_per_gpu(tp_degree) + 2 * model.kv_heads_per_gpu(tp_degree)) * model.head_dim
+    ffn_inter = model.intermediate_size // tp_degree
+    qkv = GemmShape(batch_size, qkv_out, model.hidden_size)
+    out_proj = GemmShape(batch_size, model.hidden_size, model.hidden_size // tp_degree)
 
     if model.is_moe:
         expert_m = moe_expert_batch(batch_size, model)
         gate_up = [
-            GemmShape(expert_m, 2 * model.intermediate_size, model.hidden_size)
+            GemmShape(expert_m, 2 * ffn_inter, model.hidden_size)
             for _ in range(model.num_experts)
         ]
         down = [
-            GemmShape(expert_m, model.hidden_size, model.intermediate_size)
+            GemmShape(expert_m, model.hidden_size, ffn_inter)
             for _ in range(model.num_experts)
         ]
     else:
-        gate_up = [GemmShape(batch_size, 2 * model.intermediate_size, model.hidden_size)]
-        down = [GemmShape(batch_size, model.hidden_size, model.intermediate_size)]
+        gate_up = [GemmShape(batch_size, 2 * ffn_inter, model.hidden_size)]
+        down = [GemmShape(batch_size, model.hidden_size, ffn_inter)]
     return LayerGemms(qkv=qkv, out_proj=out_proj, gate_up=gate_up, down=down)
 
 

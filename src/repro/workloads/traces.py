@@ -1,0 +1,170 @@
+"""Request-trace generation: arrival processes and length distributions.
+
+The request-level scheduler simulation (:mod:`repro.serving.scheduler`) is only as meaningful
+as the traffic fed into it.  This module generates synthetic traces in the style used by the
+serving-systems literature:
+
+* **Arrival processes** — Poisson (memoryless, CV=1) and Gamma-interarrival (CV != 1 models
+  burstier or smoother-than-Poisson traffic, the knob used by e.g. the DistServe/Sarathi
+  evaluations);
+* **Length distributions** — constant, uniform, and the log-normal long-tail shape that
+  ShareGPT-derived workloads exhibit (most prompts short, a heavy tail of very long ones),
+  with presets calibrated to the commonly reported ShareGPT statistics.
+
+Everything is deterministic under a seed, so benchmarks and tests are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from ..serving.scheduler import Request
+
+__all__ = [
+    "ArrivalProcess",
+    "LengthDistribution",
+    "SHAREGPT_PROMPTS",
+    "SHAREGPT_OUTPUTS",
+    "generate_trace",
+    "sharegpt_trace",
+]
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Request arrival-time generator at a mean rate of ``rate_rps`` requests/second.
+
+    ``cv`` is the coefficient of variation of the inter-arrival times: 1.0 gives a Poisson
+    process (exponential gaps); >1 burstier, <1 smoother.  Non-unit CVs use Gamma-distributed
+    inter-arrivals with shape ``1/cv**2``.
+    """
+
+    rate_rps: float
+    cv: float = 1.0
+
+    def __post_init__(self):
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if self.cv <= 0:
+            raise ValueError("cv must be positive")
+
+    @staticmethod
+    def poisson(rate_rps: float) -> "ArrivalProcess":
+        return ArrivalProcess(rate_rps=rate_rps, cv=1.0)
+
+    @staticmethod
+    def gamma(rate_rps: float, cv: float) -> "ArrivalProcess":
+        return ArrivalProcess(rate_rps=rate_rps, cv=cv)
+
+    def sample(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        """Cumulative arrival times (seconds, starting at the first gap) for ``num_requests``."""
+        if num_requests < 0:
+            raise ValueError("num_requests must be non-negative")
+        mean_gap = 1.0 / self.rate_rps
+        if math.isclose(self.cv, 1.0):
+            gaps = rng.exponential(mean_gap, size=num_requests)
+        else:
+            shape = 1.0 / (self.cv ** 2)
+            scale = mean_gap / shape
+            gaps = rng.gamma(shape, scale, size=num_requests)
+        return np.cumsum(gaps)
+
+
+@dataclass(frozen=True)
+class LengthDistribution:
+    """Token-length generator: ``constant``, ``uniform`` or long-tail ``lognormal``.
+
+    For ``lognormal``, ``median`` and ``sigma`` parameterize the underlying normal
+    (``exp(mu)`` is the median; larger ``sigma`` fattens the tail).  Samples are clamped to
+    ``[minimum, maximum]`` so a trace cannot contain degenerate or unbounded requests.
+    """
+
+    kind: str                       # "constant" | "uniform" | "lognormal"
+    median: float = 256.0           # constant value / lognormal median
+    sigma: float = 1.0              # lognormal shape
+    low: int = 1                    # uniform lower bound (inclusive)
+    high: int = 1024                # uniform upper bound (exclusive)
+    minimum: int = 1
+    maximum: int = 8192
+
+    def __post_init__(self):
+        if self.kind not in ("constant", "uniform", "lognormal"):
+            raise ValueError(f"unknown length distribution kind {self.kind!r}")
+        if self.minimum < 1 or self.maximum < self.minimum:
+            raise ValueError("need 1 <= minimum <= maximum")
+
+    @staticmethod
+    def constant(value: int) -> "LengthDistribution":
+        return LengthDistribution(kind="constant", median=float(value))
+
+    @staticmethod
+    def uniform(low: int, high: int) -> "LengthDistribution":
+        return LengthDistribution(kind="uniform", low=low, high=high)
+
+    @staticmethod
+    def lognormal(median: float, sigma: float, maximum: int = 8192) -> "LengthDistribution":
+        return LengthDistribution(kind="lognormal", median=median, sigma=sigma, maximum=maximum)
+
+    def sample(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        if num_requests < 0:
+            raise ValueError("num_requests must be non-negative")
+        if self.kind == "constant":
+            lengths = np.full(num_requests, self.median)
+        elif self.kind == "uniform":
+            lengths = rng.integers(self.low, self.high, size=num_requests).astype(float)
+        else:
+            lengths = rng.lognormal(mean=math.log(self.median), sigma=self.sigma,
+                                    size=num_requests)
+        return np.clip(np.rint(lengths), self.minimum, self.maximum).astype(int)
+
+
+#: ShareGPT-like long-tail presets: short median prompts/answers with a heavy upper tail
+#: (the shape reported for ShareGPT-derived serving benchmarks).
+SHAREGPT_PROMPTS = LengthDistribution.lognormal(median=180.0, sigma=1.1, maximum=4096)
+SHAREGPT_OUTPUTS = LengthDistribution.lognormal(median=160.0, sigma=0.9, maximum=2048)
+
+
+def generate_trace(
+    num_requests: int,
+    arrivals: ArrivalProcess,
+    prompt_lengths: LengthDistribution,
+    output_lengths: LengthDistribution,
+    seed: int = 0,
+    start_id: int = 0,
+) -> List["Request"]:
+    """Generate a reproducible request trace for the continuous-batching scheduler."""
+    # Imported here: workloads must stay importable from repro.serving.engine (shapes).
+    from ..serving.scheduler import Request
+
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    rng = np.random.default_rng(seed)
+    arrival_times = arrivals.sample(num_requests, rng)
+    prompts = prompt_lengths.sample(num_requests, rng)
+    outputs = output_lengths.sample(num_requests, rng)
+    return [
+        Request(
+            request_id=start_id + i,
+            prompt_tokens=int(prompts[i]),
+            output_tokens=int(outputs[i]),
+            arrival_time_s=float(arrival_times[i]),
+        )
+        for i in range(num_requests)
+    ]
+
+
+def sharegpt_trace(num_requests: int, rate_rps: float, seed: int = 0,
+                   cv: float = 1.0) -> List["Request"]:
+    """A ShareGPT-like long-tail trace with Poisson (or Gamma, ``cv != 1``) arrivals."""
+    return generate_trace(
+        num_requests,
+        ArrivalProcess(rate_rps=rate_rps, cv=cv),
+        SHAREGPT_PROMPTS,
+        SHAREGPT_OUTPUTS,
+        seed=seed,
+    )

@@ -104,6 +104,44 @@ class TestPagedKvCache:
         cache.add_sequence(1, 100)
         assert 0.0 < cache.utilization() <= 1.0
 
+    def test_extend_sequence_chunked(self):
+        cache = PagedKvCache(make_config(block_tokens=16))
+        cache.add_sequence(1, 0)
+        cache.extend_sequence(1, 100)
+        assert cache.sequence(1).num_tokens == 100
+        assert cache.sequence(1).num_blocks == math.ceil(100 / 16)
+        cache.extend_sequence(1, 0)  # no-op growth is legal
+        assert cache.sequence(1).num_tokens == 100
+
+    def test_extend_sequence_all_or_nothing_on_oom(self):
+        cfg = make_config(budget_mb=8, block_tokens=16)
+        cache = PagedKvCache(cfg)
+        cache.add_sequence(1, (cfg.total_blocks - 1) * 16)
+        free_before = cache.num_free_blocks
+        with pytest.raises(KvCacheOutOfMemory):
+            cache.extend_sequence(1, 64)  # needs more than the 1 free block
+        assert cache.num_free_blocks == free_before
+        assert cache.sequence(1).num_tokens == (cfg.total_blocks - 1) * 16
+
+    def test_blocks_needed_to_extend(self):
+        cache = PagedKvCache(make_config(block_tokens=16))
+        cache.add_sequence(1, 16)
+        assert cache.blocks_needed_to_extend(1, 0) == 0
+        assert cache.blocks_needed_to_extend(1, 1) == 1
+        assert cache.blocks_needed_to_extend(1, 32) == 2
+        with pytest.raises(KeyError):
+            cache.blocks_needed_to_extend(42)
+        with pytest.raises(ValueError):
+            cache.blocks_needed_to_extend(1, -1)
+
+    def test_tp_shard_shrinks_bytes_per_token(self):
+        full = make_config(model="llama2-70b")
+        shard = KvCacheConfig(
+            model=get_model("llama2-70b"), kv_format="int8",
+            memory_budget_bytes=64 * 2**20, tp_degree=4,
+        )
+        assert shard.bytes_per_token == pytest.approx(full.bytes_per_token / 4)
+
 
 class KvCacheMachine(RuleBasedStateMachine):
     """Stateful property test: the allocator never double-books or leaks blocks."""
@@ -138,10 +176,29 @@ class KvCacheMachine(RuleBasedStateMachine):
             self.model_tokens[seq_id] += 1
 
     @precondition(lambda self: self.model_tokens)
+    @rule(data=st.data(), chunk=st.integers(min_value=0, max_value=300))
+    def extend(self, data, chunk):
+        """Chunked-prefill growth: extend by a whole chunk, all-or-nothing."""
+        seq_id = data.draw(st.sampled_from(sorted(self.model_tokens)))
+        needed = self.cache.blocks_needed_to_extend(seq_id, chunk)
+        try:
+            self.cache.extend_sequence(seq_id, chunk)
+        except KvCacheOutOfMemory:
+            assert needed > self.cache.num_free_blocks
+        else:
+            assert needed <= self.cache.config.total_blocks
+            self.model_tokens[seq_id] += chunk
+
+    @precondition(lambda self: self.model_tokens)
     @rule(data=st.data())
     def free(self, data):
+        """Every block a sequence held must come back to the pool on free."""
         seq_id = data.draw(st.sampled_from(sorted(self.model_tokens)))
-        self.cache.free_sequence(seq_id)
+        held = self.cache.sequence(seq_id).num_blocks
+        free_before = self.cache.num_free_blocks
+        returned = self.cache.free_sequence(seq_id)
+        assert returned == held
+        assert self.cache.num_free_blocks == free_before + held
         del self.model_tokens[seq_id]
 
     @invariant()
@@ -164,6 +221,16 @@ class KvCacheMachine(RuleBasedStateMachine):
             for block in self.cache.sequence(seq_id).blocks:
                 assert block not in seen
                 seen.add(block)
+
+    @invariant()
+    def free_list_disjoint_from_used_and_duplicate_free(self):
+        free = self.cache._free_blocks
+        free_set = set(free)
+        assert len(free_set) == len(free)  # no block listed free twice
+        used = {block for seq_id in self.model_tokens
+                for block in self.cache.sequence(seq_id).blocks}
+        assert not (free_set & used)  # a block is never free and allocated at once
+        assert free_set | used == set(range(self.config.total_blocks))
 
 
 TestKvCacheStateMachine = KvCacheMachine.TestCase

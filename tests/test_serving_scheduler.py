@@ -1,0 +1,228 @@
+"""Tests for the request-level continuous-batching scheduler: mixed iterations with chunked
+prefill, preemption-and-recompute under KV pressure, heap admission, and the ragged-batch
+step-cost API it drives."""
+
+import pytest
+
+from repro.serving import (
+    ContinuousBatchingScheduler,
+    KvCacheConfig,
+    PagedKvCache,
+    PrefillChunk,
+    Request,
+    ServingEngine,
+    SloSpec,
+    get_model,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ServingEngine("liquidserve", "llama2-7b")
+
+
+def small_pool_scheduler(engine, budget_mb, **kwargs):
+    """A scheduler whose KV pool is shrunk to force preemption churn."""
+    scheduler = ContinuousBatchingScheduler(engine, **kwargs)
+    config = KvCacheConfig(
+        model=get_model("llama2-7b"),
+        kv_format=engine.system.kv_format,
+        memory_budget_bytes=budget_mb * 2**20,
+    )
+    scheduler.kv_cache = PagedKvCache(config)
+    return scheduler
+
+
+class TestRaggedStepApi:
+    def test_uniform_context_matches_decode_step(self, engine):
+        uniform = engine.decode_step_time(16, 512)
+        ragged = engine.ragged_decode_step_time([512] * 16)
+        assert ragged == pytest.approx(uniform)
+
+    def test_ragged_cheaper_than_batch_max(self, engine):
+        """Per-sequence accounting must undercut charging every sequence at the max."""
+        contexts = [64] * 15 + [4096]
+        ragged = engine.ragged_decode_step_time(contexts)
+        at_max = engine.decode_step_time(16, 4096)
+        assert ragged < at_max
+
+    def test_mixed_step_adds_prefill_cost(self, engine):
+        decode_only = engine.ragged_decode_step_time([256] * 8)
+        mixed = engine.mixed_step_time([256] * 8, [PrefillChunk(256, 0)])
+        assert mixed > decode_only
+
+    def test_chunked_prefill_time_positive_and_grows_with_context(self, engine):
+        early = engine.chunked_prefill_time(256, context_start=0)
+        late = engine.chunked_prefill_time(256, context_start=2048)
+        assert 0 < early < late
+
+    def test_empty_iteration_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.mixed_step_time([], [])
+
+
+class TestSchedulerBasics:
+    def test_completes_all_and_releases_blocks(self, engine):
+        scheduler = ContinuousBatchingScheduler(engine, max_batch_size=8)
+        requests = [Request(i, prompt_tokens=64, output_tokens=8) for i in range(12)]
+        stats = scheduler.run(requests)
+        assert stats.completed_requests == 12
+        assert stats.generated_tokens == 12 * 8
+        assert scheduler.kv_cache.num_used_blocks == 0
+        assert stats.num_iterations > 0
+        assert stats.prefill_chunks >= 12
+
+    def test_single_output_token_request(self, engine):
+        """A request whose answer is one token completes at prefill, never decoding."""
+        scheduler = ContinuousBatchingScheduler(engine)
+        stats = scheduler.run([Request(0, prompt_tokens=100, output_tokens=1)])
+        assert stats.completed_requests == 1
+        assert stats.generated_tokens == 1
+        request = stats.requests[0]
+        assert request.first_token_time_s == request.completion_time_s
+
+    def test_long_prompt_split_into_chunks(self, engine):
+        scheduler = ContinuousBatchingScheduler(engine, prefill_chunk_tokens=256)
+        stats = scheduler.run([Request(0, prompt_tokens=1000, output_tokens=4)])
+        assert stats.completed_requests == 1
+        assert stats.prefill_chunks == 4  # ceil(1000 / 256)
+
+    def test_chunked_prefill_interleaves_with_decode(self, engine):
+        """A huge late prompt must not stall an early stream of short decodes."""
+        early = [Request(i, prompt_tokens=32, output_tokens=200, arrival_time_s=0.0)
+                 for i in range(4)]
+        late = [Request(99, prompt_tokens=4000, output_tokens=4, arrival_time_s=0.0)]
+        serial_prefill = engine.prefill_time(1, 4000)
+        stats = ContinuousBatchingScheduler(
+            engine, prefill_chunk_tokens=256, max_batched_tokens=512
+        ).run(early + late)
+        assert stats.completed_requests == 5
+        # While the long prompt chunks through, the early requests keep emitting tokens:
+        # their mean TPOT stays far below one serial full prefill per token.
+        early_reqs = [r for r in stats.requests if r.request_id != 99]
+        for r in early_reqs:
+            tpot = (r.completion_time_s - r.first_token_time_s) / (r.output_tokens - 1)
+            assert tpot < serial_prefill / 2
+
+    def test_invalid_requests_rejected(self, engine):
+        scheduler = ContinuousBatchingScheduler(engine)
+        with pytest.raises(ValueError):
+            scheduler.run([Request(0, prompt_tokens=0, output_tokens=4)])
+        with pytest.raises(ValueError):
+            scheduler.run([Request(0, prompt_tokens=16, output_tokens=0)])
+
+    def test_unservable_request_rejected_up_front(self, engine):
+        scheduler = small_pool_scheduler(engine, budget_mb=64)
+        pool_tokens = scheduler.kv_cache.config.total_blocks * scheduler.kv_cache.config.block_tokens
+        with pytest.raises(ValueError, match="never be scheduled"):
+            scheduler.run([Request(0, prompt_tokens=pool_tokens + 16, output_tokens=4)])
+
+    def test_oversized_model_raises(self):
+        engine70 = ServingEngine("trt-fp16", "llama2-70b")
+        with pytest.raises(Exception):
+            ContinuousBatchingScheduler(engine70)
+
+    def test_unsupported_system_model_combo_raises(self):
+        """Table 1 'NA' cells must not silently simulate (trt-w8a8 lacks MoE support)."""
+        engine = ServingEngine("trt-w8a8", "mixtral-8x7b")
+        with pytest.raises(ValueError, match="does not support"):
+            ContinuousBatchingScheduler(engine)
+
+    def test_rerunning_same_trace_is_deterministic(self, engine):
+        """run() resets scheduler-owned request state, so traces can be A/B-reused."""
+        requests = [Request(i, prompt_tokens=64, output_tokens=8, arrival_time_s=0.01 * i)
+                    for i in range(10)]
+        first = ContinuousBatchingScheduler(engine, max_batch_size=4).run(requests)
+        second = ContinuousBatchingScheduler(engine, max_batch_size=4).run(requests)
+        assert second.completed_requests == first.completed_requests == 10
+        assert second.generated_tokens == first.generated_tokens == 80
+        assert second.simulated_time_s == pytest.approx(first.simulated_time_s)
+        assert second.mean_ttft_s == pytest.approx(first.mean_ttft_s)
+
+    def test_stats_survive_rerun_of_same_trace(self, engine):
+        """Stats snapshot the requests: a later run must not rewrite an earlier report."""
+        requests = [Request(i, prompt_tokens=64, output_tokens=8, arrival_time_s=0.01 * i)
+                    for i in range(10)]
+        slow = ContinuousBatchingScheduler(engine, max_batch_size=1).run(requests)
+        slow_p50_before = slow.slo_report().p50_ttft_s
+        ContinuousBatchingScheduler(engine, max_batch_size=8).run(requests)
+        assert slow.slo_report().p50_ttft_s == pytest.approx(slow_p50_before)
+
+
+class TestHeapAdmission:
+    def test_unsorted_arrivals_admitted_in_arrival_order(self, engine):
+        # Deliberately shuffled arrival times; ids encode the arrival rank.
+        arrivals = [0.4, 0.0, 0.3, 0.1, 0.2]
+        requests = [Request(i, prompt_tokens=64, output_tokens=4, arrival_time_s=t)
+                    for i, t in enumerate(arrivals)]
+        stats = ContinuousBatchingScheduler(engine, max_batch_size=1).run(requests)
+        assert stats.completed_requests == 5
+        by_id = {r.request_id: r for r in stats.requests}
+        ranked = sorted(range(5), key=lambda i: arrivals[i])
+        first_tokens = [by_id[i].first_token_time_s for i in ranked]
+        assert first_tokens == sorted(first_tokens)
+
+    def test_idle_gap_advances_clock(self, engine):
+        requests = [
+            Request(0, prompt_tokens=32, output_tokens=2, arrival_time_s=0.0),
+            Request(1, prompt_tokens=32, output_tokens=2, arrival_time_s=100.0),
+        ]
+        stats = ContinuousBatchingScheduler(engine).run(requests)
+        assert stats.completed_requests == 2
+        assert stats.simulated_time_s > 100.0
+        # TTFT is measured from arrival, so the late request is not charged the idle gap.
+        assert stats.p99_ttft_s < 1.0
+
+
+class TestPreemption:
+    def test_kv_exhaustion_never_propagates(self, engine):
+        """Regression: mid-decode KvCacheOutOfMemory used to crash the simulation."""
+        scheduler = small_pool_scheduler(engine, budget_mb=256, max_batch_size=16)
+        assert scheduler.kv_cache.config.total_blocks == 64
+        requests = [Request(i, prompt_tokens=300, output_tokens=64) for i in range(12)]
+        stats = scheduler.run(requests)  # must not raise
+        assert stats.completed_requests == 12
+        assert stats.generated_tokens == 12 * 64
+        assert stats.preemptions > 0
+        assert scheduler.kv_cache.num_used_blocks == 0
+
+    def test_preempted_requests_record_preemption_and_keep_tokens(self, engine):
+        scheduler = small_pool_scheduler(engine, budget_mb=256, max_batch_size=16)
+        requests = [Request(i, prompt_tokens=300, output_tokens=64) for i in range(12)]
+        stats = scheduler.run(requests)
+        assert sum(r.preemptions for r in stats.requests) == stats.preemptions
+        for r in stats.requests:
+            assert r.generated == r.output_tokens
+            assert r.first_token_time_s is not None
+            assert r.completion_time_s >= r.first_token_time_s
+
+    def test_staggered_arrivals_under_pressure(self, engine):
+        scheduler = small_pool_scheduler(engine, budget_mb=192, max_batch_size=8)
+        requests = [Request(i, prompt_tokens=200, output_tokens=48,
+                            arrival_time_s=0.01 * i) for i in range(10)]
+        stats = scheduler.run(requests)
+        assert stats.completed_requests == 10
+        assert scheduler.kv_cache.num_used_blocks == 0
+
+
+class TestSchedulerStats:
+    def test_latency_percentiles_and_slo(self, engine):
+        scheduler = ContinuousBatchingScheduler(engine, max_batch_size=16)
+        requests = [Request(i, prompt_tokens=64, output_tokens=16,
+                            arrival_time_s=0.005 * i) for i in range(32)]
+        stats = scheduler.run(requests)
+        assert stats.mean_ttft_s <= stats.mean_latency_s
+        assert stats.p50_ttft_s <= stats.p99_ttft_s
+        assert 0 < stats.mean_tpot_s <= stats.p99_tpot_s
+        report = stats.slo_report(SloSpec(ttft_s=1e9, tpot_s=1e9))
+        assert report.completed == 32
+        assert report.attainment == 1.0
+        assert report.goodput_rps == pytest.approx(32 / stats.simulated_time_s)
+        strict = stats.slo_report(SloSpec(ttft_s=0.0, tpot_s=0.0))
+        assert strict.attainment == 0.0 and strict.goodput_rps == 0.0
+
+    def test_throughput_positive(self, engine):
+        stats = ContinuousBatchingScheduler(engine, max_batch_size=4).run(
+            [Request(i, 32, 4) for i in range(4)]
+        )
+        assert stats.throughput_tokens_per_s > 0

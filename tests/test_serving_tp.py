@@ -1,0 +1,124 @@
+"""Tests for tensor-parallel serving: sharded shapes, per-GPU memory, all-reduce cost, and
+the headline multi-GPU scenario (Llama2-70B FP16: OOM on one GPU, finite on four)."""
+
+import pytest
+
+from repro.core import simulate_serving
+from repro.serving import (
+    ContinuousBatchingScheduler,
+    Request,
+    ServingEngine,
+    get_model,
+)
+from repro.workloads import decode_layer_gemms
+
+
+class TestModelSharding:
+    def test_validate_tp(self):
+        model = get_model("llama2-7b")
+        model.validate_tp(1)
+        model.validate_tp(8)
+        with pytest.raises(ValueError):
+            model.validate_tp(3)  # 32 heads not divisible by 3
+        with pytest.raises(ValueError):
+            model.validate_tp(0)
+
+    def test_head_sharding(self):
+        model = get_model("llama2-70b")  # 64 heads, 8 KV heads (GQA)
+        assert model.heads_per_gpu(4) == 16
+        assert model.kv_heads_per_gpu(4) == 2
+        assert model.kv_replication_factor(4) == 1.0
+
+    def test_kv_replication_when_tp_exceeds_kv_heads(self):
+        model = get_model("llama2-70b")
+        assert model.kv_heads_per_gpu(16) == 1  # replicated, not fractional
+        assert model.kv_replication_factor(16) == 2.0
+
+    def test_weight_params_shard_close_to_even(self):
+        model = get_model("llama2-70b")
+        full = model.gemm_weight_params()
+        per_gpu = model.gemm_weight_params_per_gpu(4)
+        assert per_gpu < full / 4 * 1.02  # GQA KV replication adds <2% here
+        assert per_gpu > full / 4 * 0.99
+
+    def test_sharded_gemm_shapes(self):
+        model = get_model("llama2-7b")
+        full = decode_layer_gemms(model, 16)
+        half = decode_layer_gemms(model, 16, tp_degree=2)
+        assert half.qkv.n == full.qkv.n // 2
+        assert half.out_proj.k == full.out_proj.k // 2
+        assert half.gate_up[0].n == full.gate_up[0].n // 2
+        assert half.down[0].k == full.down[0].k // 2
+        # M (token count) and the non-reduced dims are unchanged.
+        assert half.qkv.m == full.qkv.m
+        assert half.out_proj.n == full.out_proj.n
+
+
+class TestEngineTensorParallel:
+    def test_70b_fp16_oom_on_one_gpu_finite_on_four(self):
+        """The acceptance scenario: tp_degree=4 turns Table 1's OOM into a finite peak."""
+        single = ServingEngine("trt-fp16", "llama2-70b")
+        assert single.peak_throughput(batch_sizes=[1, 16, 64]).oom
+
+        sharded = ServingEngine("trt-fp16", "llama2-70b", tp_degree=4)
+        result = sharded.peak_throughput(batch_sizes=[1, 16, 64, 128])
+        assert not result.oom
+        assert result.peak_throughput > 0
+        assert result.tp_degree == 4
+
+    def test_weight_memory_shards(self):
+        full = ServingEngine("liquidserve", "llama2-70b")
+        tp4 = ServingEngine("liquidserve", "llama2-70b", tp_degree=4)
+        assert tp4.weight_memory_bytes() < full.weight_memory_bytes() / 3.5
+        assert tp4.kv_budget_bytes() > full.kv_budget_bytes()
+
+    def test_per_gpu_kv_bytes_shrink(self):
+        tp1 = ServingEngine("liquidserve", "llama2-70b").kv_cache_config()
+        tp4 = ServingEngine("liquidserve", "llama2-70b", tp_degree=4).kv_cache_config()
+        assert tp4.bytes_per_token == pytest.approx(tp1.bytes_per_token / 4)
+
+    def test_allreduce_cost(self):
+        tp1 = ServingEngine("liquidserve", "llama2-70b")
+        tp4 = ServingEngine("liquidserve", "llama2-70b", tp_degree=4)
+        assert tp1.allreduce_time(64) == 0.0
+        assert tp4.allreduce_time(64) > 0.0
+        assert tp4.allreduce_time(128) > tp4.allreduce_time(64)
+        assert tp4.layer_breakdown(64, 1024).comm > 0.0
+        assert tp1.layer_breakdown(64, 1024).comm == 0.0
+
+    def test_tp_speeds_up_large_model_decode(self):
+        tp1 = ServingEngine("liquidserve", "llama2-70b")
+        tp4 = ServingEngine("liquidserve", "llama2-70b", tp_degree=4)
+        assert tp4.decode_step_time(64, 1024) < tp1.decode_step_time(64, 1024)
+
+    def test_moe_tensor_parallel(self):
+        tp2 = ServingEngine("liquidserve", "mixtral-8x7b", tp_degree=2)
+        point = tp2.throughput(32)
+        assert point.tokens_per_second > 0
+
+    def test_invalid_tp_rejected(self):
+        with pytest.raises(ValueError):
+            ServingEngine("liquidserve", "llama2-7b", tp_degree=5)
+
+
+class TestTensorParallelServing:
+    def test_scheduler_runs_on_tp_engine(self):
+        engine = ServingEngine("trt-fp16", "llama2-70b", tp_degree=4)
+        scheduler = ContinuousBatchingScheduler(engine, max_batch_size=8)
+        stats = scheduler.run([Request(i, prompt_tokens=128, output_tokens=8)
+                               for i in range(8)])
+        assert stats.completed_requests == 8
+        assert scheduler.kv_cache.num_used_blocks == 0
+
+    def test_simulate_serving_tp(self):
+        sim = simulate_serving(
+            "trt-fp16",
+            "llama2-70b",
+            tp_degree=4,
+            num_requests=32,
+            arrival_rate_rps=4.0,
+            seed=0,
+        )
+        assert sim.stats.completed_requests == 32
+        assert sim.tp_degree == 4
+        assert sim.throughput_tokens_per_s > 0

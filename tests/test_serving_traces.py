@@ -1,0 +1,168 @@
+"""Tests for trace generation (arrival processes, length distributions) and SLO metrics."""
+
+import numpy as np
+import pytest
+
+from repro.serving.metrics import (
+    RequestMetrics,
+    SloSpec,
+    compute_slo_report,
+    percentile,
+    request_metrics,
+)
+from repro.serving.scheduler import Request
+from repro.workloads import (
+    SHAREGPT_OUTPUTS,
+    SHAREGPT_PROMPTS,
+    ArrivalProcess,
+    LengthDistribution,
+    generate_trace,
+    sharegpt_trace,
+)
+
+
+class TestArrivalProcess:
+    def test_poisson_mean_rate(self):
+        rng = np.random.default_rng(0)
+        times = ArrivalProcess.poisson(rate_rps=50.0).sample(20000, rng)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(1 / 50.0, rel=0.05)
+        # Poisson: CV of inter-arrival gaps is 1.
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_gamma_burstiness(self):
+        rng = np.random.default_rng(0)
+        bursty = ArrivalProcess.gamma(rate_rps=50.0, cv=2.0).sample(20000, rng)
+        gaps = np.diff(bursty)
+        assert gaps.mean() == pytest.approx(1 / 50.0, rel=0.05)
+        assert gaps.std() / gaps.mean() == pytest.approx(2.0, rel=0.1)
+
+    def test_monotone_nonnegative(self):
+        rng = np.random.default_rng(1)
+        times = ArrivalProcess.poisson(10.0).sample(100, rng)
+        assert times[0] >= 0
+        assert np.all(np.diff(times) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalProcess(rate_rps=0.0)
+        with pytest.raises(ValueError):
+            ArrivalProcess(rate_rps=1.0, cv=0.0)
+
+
+class TestLengthDistribution:
+    def test_constant(self):
+        rng = np.random.default_rng(0)
+        lengths = LengthDistribution.constant(128).sample(10, rng)
+        assert (lengths == 128).all()
+
+    def test_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        lengths = LengthDistribution.uniform(64, 512).sample(1000, rng)
+        assert lengths.min() >= 64 and lengths.max() < 512
+
+    def test_lognormal_long_tail(self):
+        rng = np.random.default_rng(0)
+        dist = LengthDistribution.lognormal(median=180.0, sigma=1.1, maximum=4096)
+        lengths = dist.sample(20000, rng)
+        assert np.median(lengths) == pytest.approx(180.0, rel=0.1)
+        # Heavy upper tail: p99 is many times the median, mean well above the median.
+        assert np.percentile(lengths, 99) > 5 * np.median(lengths)
+        assert lengths.mean() > 1.4 * np.median(lengths)
+        assert lengths.min() >= 1 and lengths.max() <= 4096
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LengthDistribution(kind="zipf")
+        with pytest.raises(ValueError):
+            LengthDistribution(kind="constant", minimum=0)
+
+
+class TestTraceGeneration:
+    def test_deterministic_under_seed(self):
+        a = sharegpt_trace(64, rate_rps=10.0, seed=7)
+        b = sharegpt_trace(64, rate_rps=10.0, seed=7)
+        assert [(r.prompt_tokens, r.output_tokens, r.arrival_time_s) for r in a] == [
+            (r.prompt_tokens, r.output_tokens, r.arrival_time_s) for r in b
+        ]
+        c = sharegpt_trace(64, rate_rps=10.0, seed=8)
+        assert [r.prompt_tokens for r in a] != [r.prompt_tokens for r in c]
+
+    def test_request_fields_valid(self):
+        trace = generate_trace(
+            100,
+            ArrivalProcess.poisson(5.0),
+            SHAREGPT_PROMPTS,
+            SHAREGPT_OUTPUTS,
+            seed=3,
+            start_id=1000,
+        )
+        assert [r.request_id for r in trace] == list(range(1000, 1100))
+        for r in trace:
+            assert r.prompt_tokens >= 1
+            assert r.output_tokens >= 1
+            assert r.arrival_time_s >= 0.0
+        arrivals = [r.arrival_time_s for r in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_num_requests_validation(self):
+        with pytest.raises(ValueError):
+            generate_trace(0, ArrivalProcess.poisson(1.0), SHAREGPT_PROMPTS, SHAREGPT_OUTPUTS)
+
+
+class TestPercentile:
+    def test_basic(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_empty_and_single(self):
+        assert percentile([], 99) == 0.0
+        assert percentile([3.0], 10) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestSloMetrics:
+    def _request(self, rid, arrival, first, done, output):
+        return Request(
+            request_id=rid,
+            prompt_tokens=16,
+            output_tokens=output,
+            arrival_time_s=arrival,
+            first_token_time_s=first,
+            completion_time_s=done,
+            generated=output,
+        )
+
+    def test_request_metrics_fields(self):
+        r = self._request(0, arrival=1.0, first=1.5, done=2.5, output=11)
+        (m,) = request_metrics([r])
+        assert m.ttft_s == pytest.approx(0.5)
+        assert m.latency_s == pytest.approx(1.5)
+        assert m.tpot_s == pytest.approx(0.1)  # 1.0s over 10 decode tokens
+
+    def test_incomplete_requests_skipped(self):
+        r = Request(0, 16, 4)
+        assert request_metrics([r]) == []
+
+    def test_single_token_requests_excluded_from_tpot_percentiles(self):
+        multi = self._request(0, 0.0, 0.1, 1.1, 11)    # tpot 0.1
+        single = self._request(1, 0.0, 0.1, 0.1, 1)    # tpot undefined (reported 0.0)
+        report = compute_slo_report([multi, single], makespan_s=2.0)
+        assert report.p50_tpot_s == pytest.approx(0.1)  # not dragged down by the 0.0
+        assert report.completed == 2  # but the request still counts toward attainment
+
+    def test_goodput_counts_only_slo_attaining(self):
+        fast = self._request(0, 0.0, 0.1, 1.0, 10)   # ttft .1, tpot .1
+        slow = self._request(1, 0.0, 5.0, 50.0, 10)  # ttft 5, tpot 5
+        report = compute_slo_report([fast, slow], SloSpec(ttft_s=1.0, tpot_s=0.2),
+                                    makespan_s=50.0)
+        assert report.completed == 2
+        assert report.slo_attained == 1
+        assert report.attainment == 0.5
+        assert report.goodput_rps == pytest.approx(1 / 50.0)
+        assert report.p99_ttft_s > report.p50_ttft_s
