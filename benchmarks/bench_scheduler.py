@@ -1,16 +1,32 @@
 #!/usr/bin/env python3
 """Performance harness for the request-level scheduler simulation.
 
-Times a 500-request ShareGPT-like trace (Poisson arrivals) through the continuous-batching
-scheduler on Llama2-7B/H800 — chunked prefill, ragged decode and preemption enabled — plus
-the tensor-parallel Llama2-70B acceptance scenario, and writes ``BENCH_scheduler.json`` at
-the repository root so subsequent PRs can track both simulator wall-time (is the scheduler
-hot loop regressing?) and the simulated serving metrics (did a change silently alter the
-model?).
+Four sections, written to ``BENCH_scheduler.json`` at the repository root so subsequent PRs
+can track both simulator wall-time (is the scheduler hot loop regressing?) and the simulated
+serving metrics (did a change silently alter the model?):
 
-Run:  PYTHONPATH=src python benchmarks/bench_scheduler.py
+* ``trace_simulation`` — a ShareGPT-like trace (Poisson arrivals) through the
+  continuous-batching scheduler on Llama2-7B/H800 with the default FCFS + recompute policies;
+* ``preemption_ab`` — the same KV-constrained ShareGPT trace (same seed) served under the
+  recompute-only, swap-whenever-possible and cost-based hybrid preemption policies, recording
+  goodput, preemption mix and KV transfer time; the acceptance flag
+  ``hybrid_goodput_ge_recompute`` asserts the hybrid never loses to recompute-only;
+* ``scheduling_ab`` — the same trace under FCFS vs. priority vs. SJF vs. max-min fairness
+  admission; ``sjf_p99_ttft_improves`` asserts SJF cuts p99 TTFT vs. FCFS on this long-tail
+  workload;
+* ``tensor_parallel_llama2_70b`` — the TP acceptance scenario (OOM on one GPU, finite on 4).
+
+The payload always matches ``SCHEMA`` below (validated before writing; the tier-1 suite
+re-validates the committed file), so the perf trajectory stays machine-comparable across PRs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_scheduler.py [--fast]
+
+``--fast`` shrinks the traces for CI (same sections, same schema, smaller ``num_requests``)
+and writes to ``BENCH_scheduler.fast.json`` so the committed full-mode trajectory is never
+overwritten by a CI or local fast run.
 """
 
+import argparse
 import json
 import os
 import time
@@ -19,21 +35,125 @@ from repro.core import simulate_serving
 from repro.serving import ServingEngine, SloSpec
 
 RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_scheduler.json")
+#: Fast mode writes here instead, so a CI/local --fast run can never overwrite the
+#: committed full-size trajectory (which the tier-1 suite asserts is mode="full").
+FAST_RESULT_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_scheduler.fast.json"
+)
+
+#: Shared A/B workload: a KV-constrained pool (device budget shrunk well below the 80 GB
+#: derived default) so the ShareGPT long tail forces preemption churn, plus a host swap pool.
+AB_KV_BUDGET_BYTES = 2 * 2**30
+AB_HOST_KV_BUDGET_BYTES = 4 * 2**30
+#: 20 rps keeps the constrained pool churning without tipping into overload collapse —
+#: in sustained overload SJF trades tail TTFT for goodput, which is not the regime the
+#: p99-TTFT acceptance criterion targets.
+AB_ARRIVAL_RPS = 20.0
+AB_SLO = SloSpec(ttft_s=2.0, tpot_s=0.1)
+#: The preemption A/B runs on the FP16 system: its re-prefill pays full FP16 GEMM cost, so
+#: the swap-vs-recompute trade-off is pronounced (on W4A8 systems re-prefill is so cheap the
+#: two mechanisms nearly tie — the hybrid then correctly sticks to recompute).
+AB_PREEMPTION_SYSTEM = "trt-fp16"
+
+#: Documented result schema. Leaf values are the required types (``int`` also satisfies a
+#: ``float`` leaf); nested dicts are required sub-objects; ``dict`` leaves are free-form.
+SCHEMA = {
+    "benchmark": str,
+    "mode": str,  # "full" | "fast"
+    "trace_simulation": {
+        "workload": dict,
+        "harness": {"wall_time_s": float, "iterations_per_s": float},
+        "simulated": {
+            "completed_requests": int,
+            "generated_tokens": int,
+            "throughput_tokens_per_s": float,
+            "iterations": int,
+            "prefill_chunks": int,
+            "preemptions": int,
+            "peak_batch_size": int,
+            "peak_kv_utilization": float,
+            "p50_ttft_s": float,
+            "p99_ttft_s": float,
+            "p50_tpot_s": float,
+            "p99_tpot_s": float,
+            "slo_attainment": float,
+            "goodput_rps": float,
+        },
+    },
+    "preemption_ab": {
+        "workload": dict,
+        "policies": dict,  # policy name -> per-policy metrics
+        "hybrid_goodput_ge_recompute": bool,
+    },
+    "scheduling_ab": {
+        "workload": dict,
+        "policies": dict,  # policy name -> per-policy metrics
+        "sjf_p99_ttft_improves": bool,
+    },
+    "tensor_parallel_llama2_70b": {
+        "single_gpu_oom": bool,
+        "tp4_peak_tokens_per_s": float,
+        "tp4_peak_batch": int,
+        "tp4_weights_per_gpu_gb": float,
+        "wall_time_s": float,
+    },
+}
 
 
-def bench_trace_simulation() -> dict:
-    slo = SloSpec(ttft_s=2.0, tpot_s=0.1)
+def validate_payload(payload, schema=SCHEMA, path="$"):
+    """Assert ``payload`` matches ``schema``; raises ValueError naming the first mismatch."""
+    if isinstance(schema, dict):
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}: expected object, got {type(payload).__name__}")
+        for key, sub in schema.items():
+            if key not in payload:
+                raise ValueError(f"{path}.{key}: missing required key")
+            validate_payload(payload[key], sub, f"{path}.{key}")
+        return
+    if schema is dict:
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}: expected object, got {type(payload).__name__}")
+        return
+    accepted = (int, float) if schema is float else schema
+    if schema in (int, float) and isinstance(payload, bool):
+        raise ValueError(f"{path}: expected {schema.__name__}, got bool")
+    if not isinstance(payload, accepted):
+        raise ValueError(
+            f"{path}: expected {schema.__name__}, got {type(payload).__name__}"
+        )
+
+
+def _simulated_summary(sim) -> dict:
+    stats, report = sim.stats, sim.slo
+    return {
+        "completed_requests": stats.completed_requests,
+        "generated_tokens": stats.generated_tokens,
+        "throughput_tokens_per_s": round(stats.throughput_tokens_per_s, 1),
+        "iterations": stats.num_iterations,
+        "prefill_chunks": stats.prefill_chunks,
+        "preemptions": stats.preemptions,
+        "peak_batch_size": stats.peak_batch_size,
+        "peak_kv_utilization": round(stats.peak_kv_utilization, 4),
+        "p50_ttft_s": round(report.p50_ttft_s, 4),
+        "p99_ttft_s": round(report.p99_ttft_s, 4),
+        "p50_tpot_s": round(report.p50_tpot_s, 5),
+        "p99_tpot_s": round(report.p99_tpot_s, 5),
+        "slo_attainment": round(report.attainment, 4),
+        "goodput_rps": round(report.goodput_rps, 2),
+    }
+
+
+def bench_trace_simulation(num_requests: int) -> dict:
     start = time.perf_counter()
     sim = simulate_serving(
         "liquidserve",
         "llama2-7b",
-        num_requests=500,
+        num_requests=num_requests,
         arrival_rate_rps=20.0,
         seed=0,
-        slo=slo,
+        slo=AB_SLO,
     )
     wall_s = time.perf_counter() - start
-    stats, report = sim.stats, sim.slo
     return {
         "workload": {
             "system": sim.system,
@@ -42,33 +162,106 @@ def bench_trace_simulation() -> dict:
             "num_requests": sim.num_requests,
             "arrival": "poisson-20rps",
             "lengths": "sharegpt-lognormal",
-            "slo": {"ttft_s": slo.ttft_s, "tpot_s": slo.tpot_s},
+            "slo": {"ttft_s": AB_SLO.ttft_s, "tpot_s": AB_SLO.tpot_s},
         },
         "harness": {
             "wall_time_s": round(wall_s, 3),
-            "iterations_per_s": round(stats.num_iterations / wall_s, 1),
+            "iterations_per_s": round(sim.stats.num_iterations / wall_s, 1),
         },
-        "simulated": {
-            "completed_requests": stats.completed_requests,
-            "generated_tokens": stats.generated_tokens,
-            "throughput_tokens_per_s": round(stats.throughput_tokens_per_s, 1),
-            "iterations": stats.num_iterations,
-            "prefill_chunks": stats.prefill_chunks,
-            "preemptions": stats.preemptions,
-            "peak_batch_size": stats.peak_batch_size,
-            "peak_kv_utilization": round(stats.peak_kv_utilization, 4),
-            "p50_ttft_s": round(report.p50_ttft_s, 4),
-            "p99_ttft_s": round(report.p99_ttft_s, 4),
-            "p50_tpot_s": round(report.p50_tpot_s, 5),
-            "p99_tpot_s": round(report.p99_tpot_s, 5),
-            "slo_attainment": round(report.attainment, 4),
-            "goodput_rps": round(report.goodput_rps, 2),
-        },
+        "simulated": _simulated_summary(sim),
+    }
+
+
+def _ab_workload(num_requests: int) -> dict:
+    return {
+        "system": "liquidserve",
+        "model": "llama2-7b",
+        "device": "H800",
+        "num_requests": num_requests,
+        "arrival": f"poisson-{AB_ARRIVAL_RPS:g}rps",
+        "lengths": "sharegpt-lognormal",
+        "seed": 0,
+        "kv_budget_mb": AB_KV_BUDGET_BYTES // 2**20,
+        "host_kv_budget_mb": AB_HOST_KV_BUDGET_BYTES // 2**20,
+        "slo": {"ttft_s": AB_SLO.ttft_s, "tpot_s": AB_SLO.tpot_s},
+    }
+
+
+def bench_preemption_ab(num_requests: int) -> dict:
+    """Recompute vs. swap vs. cost-based hybrid on the same KV-constrained trace."""
+    policies = {}
+    raw_goodput = {}
+    for policy in ("recompute", "swap", "hybrid"):
+        start = time.perf_counter()
+        sim = simulate_serving(
+            AB_PREEMPTION_SYSTEM,
+            "llama2-7b",
+            num_requests=num_requests,
+            arrival_rate_rps=AB_ARRIVAL_RPS,
+            seed=0,
+            kv_budget_bytes=AB_KV_BUDGET_BYTES,
+            host_kv_budget_bytes=AB_HOST_KV_BUDGET_BYTES,
+            preemption_policy=policy,
+            slo=AB_SLO,
+        )
+        wall_s = time.perf_counter() - start
+        stats = sim.stats
+        raw_goodput[policy] = sim.slo.goodput_rps
+        policies[policy] = dict(
+            _simulated_summary(sim),
+            swap_preemptions=stats.swap_preemptions,
+            recompute_preemptions=stats.recompute_preemptions,
+            swap_ins=stats.swap_ins,
+            kv_transfer_s=round(stats.kv_transfer_s, 4),
+            peak_host_kv_utilization=round(stats.peak_host_kv_utilization, 4),
+            wall_time_s=round(wall_s, 3),
+        )
+    return {
+        "workload": dict(_ab_workload(num_requests), system=AB_PREEMPTION_SYSTEM),
+        "policies": policies,
+        # Flags compare the raw simulator values: rounding for the payload must not be
+        # able to flip a CI-gating verdict either way.
+        "hybrid_goodput_ge_recompute": raw_goodput["hybrid"] >= raw_goodput["recompute"],
+    }
+
+
+def bench_scheduling_ab(num_requests: int) -> dict:
+    """FCFS vs. priority vs. SJF vs. max-min fairness on the same constrained trace."""
+    policies = {}
+    raw_p99_ttft = {}
+    for policy in ("fcfs", "priority", "sjf", "fairness"):
+        start = time.perf_counter()
+        sim = simulate_serving(
+            "liquidserve",
+            "llama2-7b",
+            num_requests=num_requests,
+            arrival_rate_rps=AB_ARRIVAL_RPS,
+            seed=0,
+            kv_budget_bytes=AB_KV_BUDGET_BYTES,
+            host_kv_budget_bytes=AB_HOST_KV_BUDGET_BYTES,
+            scheduling_policy=policy,
+            preemption_policy="hybrid",
+            num_priority_levels=4,
+            slo=AB_SLO,
+        )
+        wall_s = time.perf_counter() - start
+        raw_p99_ttft[policy] = sim.slo.p99_ttft_s
+        policies[policy] = dict(
+            _simulated_summary(sim), wall_time_s=round(wall_s, 3)
+        )
+    return {
+        "workload": dict(_ab_workload(num_requests), num_priority_levels=4),
+        "policies": policies,
+        "sjf_p99_ttft_improves": raw_p99_ttft["sjf"] < raw_p99_ttft["fcfs"],
     }
 
 
 def bench_tensor_parallel() -> dict:
-    """Llama2-70B FP16: OOM on one GPU, finite peak throughput on four."""
+    """Llama2-70B FP16: OOM on one GPU, finite peak throughput on four.
+
+    No fast-mode trimming: ``peak_throughput`` always sweeps the memory-limit batch too,
+    and the whole section runs in well under a second.
+    """
     single = ServingEngine("trt-fp16", "llama2-70b")
     sharded = ServingEngine("trt-fp16", "llama2-70b", tp_degree=4)
     start = time.perf_counter()
@@ -84,17 +277,40 @@ def bench_tensor_parallel() -> dict:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="shrink traces for CI (same sections and schema)")
+    args = parser.parse_args()
+    trace_requests = 120 if args.fast else 500
+    ab_requests = 100 if args.fast else 300
+
     payload = {
         "benchmark": "bench_scheduler",
-        "trace_simulation": bench_trace_simulation(),
+        "mode": "fast" if args.fast else "full",
+        "trace_simulation": bench_trace_simulation(trace_requests),
+        "preemption_ab": bench_preemption_ab(ab_requests),
+        "scheduling_ab": bench_scheduling_ab(ab_requests),
         "tensor_parallel_llama2_70b": bench_tensor_parallel(),
     }
-    path = os.path.abspath(RESULT_PATH)
+    validate_payload(payload)
+    path = os.path.abspath(FAST_RESULT_PATH if args.fast else RESULT_PATH)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(json.dumps(payload, indent=2))
     print(f"\nwrote {path}")
+    # The acceptance criteria are checked live (every run, both modes), not just against
+    # the committed result, so CI catches a behavioral regression the moment it lands.
+    failed = [
+        flag
+        for section, flag in (
+            ("preemption_ab", "hybrid_goodput_ge_recompute"),
+            ("scheduling_ab", "sjf_p99_ttft_improves"),
+        )
+        if not payload[section][flag]
+    ]
+    if failed:
+        raise SystemExit(f"acceptance criteria failed: {', '.join(failed)}")
 
 
 if __name__ == "__main__":

@@ -121,15 +121,25 @@ def simulate_serving(
     max_batch_size: Optional[int] = None,
     max_batched_tokens: Optional[int] = None,
     prefill_chunk_tokens: int = 256,
+    scheduling_policy: str = "fcfs",
+    preemption_policy: str = "recompute",
+    kv_budget_bytes: Optional[int] = None,
+    host_kv_budget_bytes: Optional[int] = None,
+    num_priority_levels: int = 1,
     slo: Optional[SloSpec] = None,
 ) -> ServingSimulation:
     """Run a trace-driven request-level serving simulation end to end.
 
     Generates a reproducible trace (Poisson arrivals by default, Gamma when
     ``arrival_cv != 1``; ShareGPT-like long-tail lengths unless overridden), serves it with
-    the continuous-batching scheduler — chunked prefill, ragged decode batches, preemption
-    under KV pressure, optional tensor parallelism — and summarizes both throughput and SLO
-    attainment.
+    the continuous-batching scheduler — chunked prefill, ragged decode batches, policy-driven
+    preemption (recompute / swap-to-host / cost-based hybrid) under KV pressure, pluggable
+    admission ordering (FCFS, priority, SJF, max-min fairness), optional tensor parallelism —
+    and summarizes both throughput and SLO attainment.
+
+    ``kv_budget_bytes`` / ``host_kv_budget_bytes`` override the device KV pool and host swap
+    pool for KV-pressure studies; ``num_priority_levels > 1`` samples request priorities into
+    the trace for the 'priority' scheduling policy.
     """
     engine = ServingEngine(system, model, device=device, tp_degree=tp_degree)
     scheduler = ContinuousBatchingScheduler(
@@ -137,6 +147,10 @@ def simulate_serving(
         max_batch_size=max_batch_size,
         max_batched_tokens=max_batched_tokens,
         prefill_chunk_tokens=prefill_chunk_tokens,
+        scheduling_policy=scheduling_policy,
+        preemption_policy=preemption_policy,
+        kv_budget_bytes=kv_budget_bytes,
+        host_kv_budget_bytes=host_kv_budget_bytes,
     )
     trace = generate_trace(
         num_requests,
@@ -144,6 +158,7 @@ def simulate_serving(
         prompt_lengths or SHAREGPT_PROMPTS,
         output_lengths or SHAREGPT_OUTPUTS,
         seed=seed,
+        num_priority_levels=num_priority_levels,
     )
     stats = scheduler.run(trace)
     return ServingSimulation(

@@ -107,6 +107,9 @@ class GpuSpec:
     smem_bank_width: int = 4
     #: NVLink / PCIe bandwidth, bytes/s (not used by the GEMM model, kept for completeness).
     interconnect_bandwidth: float = 64e9
+    #: GPU <-> host-memory link bandwidth, bytes/s (PCIe, effective): the rate at which KV
+    #: blocks move during swap-based preemption.
+    host_link_bandwidth: float = 25e9
     #: Whether the GPU supports asynchronous TMA bulk copies (Hopper and later).
     has_tma: bool = True
     #: Whether the Tensor Cores support the INT4 MMA data type.
@@ -183,6 +186,7 @@ A100 = GpuSpec(
     clock_hz=1.41e9,
     smem_per_sm=164 * 1024,
     registers_per_sm=65536,
+    host_link_bandwidth=25e9,  # PCIe Gen4 x16, effective
     has_tma=False,
     supports_int4_mma=True,
 )
@@ -204,6 +208,7 @@ H100 = GpuSpec(
     clock_hz=1.83e9,
     smem_per_sm=228 * 1024,
     registers_per_sm=65536,
+    host_link_bandwidth=55e9,  # PCIe Gen5 x16, effective
     has_tma=True,
     supports_int4_mma=False,
 )

@@ -55,7 +55,19 @@ __all__ = [
     "ThroughputPoint",
     "ServingResult",
     "ServingEngine",
+    "peak_resident_tokens",
 ]
+
+
+def peak_resident_tokens(prompt_tokens: int, output_tokens: int) -> int:
+    """Peak KV residency of one request, in tokens.
+
+    The last generated token is never appended to the cache (it is never an input), so a
+    request caches at most ``prompt + output - 1`` tokens.  Every capacity check — the
+    scheduler's admission guard, ``throughput`` and ``peak_throughput`` — must use this one
+    form; two of them previously disagreed and misreported borderline batches as OOM.
+    """
+    return prompt_tokens + output_tokens - 1
 
 #: Memory reserved for activations, CUDA graphs, workspace and fragmentation slack.
 _ACTIVATION_RESERVE_BYTES = 2 * 2**30
@@ -64,6 +76,8 @@ _ACTIVATION_RESERVE_BYTES = 2 * 2**30
 _ELEMENTWISE_PASSES = 7.0
 #: Launch/synchronization latency of one NCCL collective over the TP group.
 _ALLREDUCE_LATENCY_S = 8.0e-6
+#: Fixed setup latency of one KV swap transfer over the host link (DMA launch, pinning).
+_HOST_TRANSFER_LATENCY_S = 15.0e-6
 
 
 @dataclass
@@ -182,6 +196,7 @@ class ServingEngine:
             kv_format=self.system.kv_format,
             memory_budget_bytes=self.kv_budget_bytes(),
             tp_degree=self.tp_degree,
+            host_memory_budget_bytes=self.system.host_kv_swap_bytes,
         )
 
     def max_batch_size(self, tokens_per_sequence: int) -> int:
@@ -203,6 +218,26 @@ class ServingEngine:
             / self.device.spec.interconnect_bandwidth
         )
         return ring + _ALLREDUCE_LATENCY_S
+
+    def kv_transfer_time(self, num_bytes: float) -> float:
+        """One-way KV transfer over the GPU <-> host link (one swap-out or swap-in).
+
+        With tensor parallelism each GPU moves only its own shard over its own link, so the
+        caller passes per-GPU bytes (which is what :class:`PagedKvCache` accounts in).
+        """
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.device.spec.host_link_bandwidth + _HOST_TRANSFER_LATENCY_S
+
+    def recompute_time(self, num_tokens: int) -> float:
+        """Estimated cost of rebuilding ``num_tokens`` of KV state by re-prefilling.
+
+        This is what a recompute preemption pays when the victim resumes; the cost-based
+        preemption policy compares it against the swap round trip.
+        """
+        if num_tokens <= 0:
+            return 0.0
+        return self.prefill_time(1, num_tokens)
 
     def _logits_gather_time(self, num_tokens: int) -> float:
         """All-gather of the vocab-parallel logits after the LM head."""
@@ -380,7 +415,7 @@ class ServingEngine:
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
-        fits = batch_size <= self.max_batch_size(input_len + output_len)
+        fits = batch_size <= self.max_batch_size(peak_resident_tokens(input_len, output_len))
 
         # Decode cost grows linearly with context; evaluating at the mean context length is
         # exact for the linear terms and a very tight approximation overall.
@@ -409,7 +444,7 @@ class ServingEngine:
             return ServingResult(system=self.system.name, model=self.model.name,
                                  peak_throughput=0.0, peak_batch_size=0, oom=True,
                                  tp_degree=self.tp_degree)
-        max_batch = self.max_batch_size(input_len + output_len)
+        max_batch = self.max_batch_size(peak_resident_tokens(input_len, output_len))
         if max_batch < 1:
             return ServingResult(system=self.system.name, model=self.model.name,
                                  peak_throughput=0.0, peak_batch_size=0, oom=True,

@@ -6,6 +6,17 @@ This module implements that block manager exactly (allocation, append, free, cop
 because it is what determines the maximum batch size under the 80 GB budget in Table 1 — and
 because its invariants (no double allocation, capacity never exceeded, blocks returned on
 free) are good property-test material.
+
+Beyond the device pool the manager models two production mechanisms:
+
+* **Swap-based preemption** — a sequence's blocks can be swapped out to a bounded
+  host-memory pool (:meth:`PagedKvCache.swap_out` / :meth:`PagedKvCache.swap_in`, the vLLM
+  ``swap_space`` mechanism), releasing device blocks without discarding the KV state.  The
+  scheduler charges the transfer over the host link via the serving engine.
+* **Copy-on-fork** — :meth:`PagedKvCache.fork_sequence` creates a child that shares the
+  parent's blocks under reference counting; growing a sequence whose tail block is shared
+  copies that block first (copy-on-write).  This is the building block for prefix caching
+  across requests sharing a system prompt.
 """
 
 from __future__ import annotations
@@ -38,6 +49,9 @@ class KvCacheConfig:
     block_tokens: int = 16            # tokens per block (vLLM default granularity)
     memory_budget_bytes: int = 0      # pool size; set by the serving engine
     tp_degree: int = 1                # tensor-parallel group size (per-GPU shard accounting)
+    #: Host-memory swap pool (vLLM ``swap_space``): bytes of pinned host memory available to
+    #: park swapped-out sequences.  0 disables swap-based preemption.
+    host_memory_budget_bytes: int = 0
 
     @property
     def bytes_per_token(self) -> float:
@@ -57,6 +71,12 @@ class KvCacheConfig:
             return 0
         return self.memory_budget_bytes // self.bytes_per_block
 
+    @property
+    def total_host_blocks(self) -> int:
+        if self.host_memory_budget_bytes <= 0:
+            return 0
+        return self.host_memory_budget_bytes // self.bytes_per_block
+
     def blocks_for_tokens(self, num_tokens: int) -> int:
         return math.ceil(num_tokens / self.block_tokens)
 
@@ -75,7 +95,13 @@ class SequenceState:
 
 
 class PagedKvCache:
-    """Block-granular KV-cache allocator."""
+    """Block-granular KV-cache allocator with a host-memory swap pool and copy-on-fork.
+
+    Device blocks are reference counted: :meth:`fork_sequence` lets two sequences share a
+    block (``num_used_blocks`` counts *physical* blocks, so the per-sequence block counts of
+    forked sequences may sum to more than the pool holds).  Swapped-out sequences live in a
+    separate host block pool and hold no device blocks.
+    """
 
     def __init__(self, config: KvCacheConfig):
         if config.memory_budget_bytes <= 0:
@@ -83,6 +109,9 @@ class PagedKvCache:
         self.config = config
         self._free_blocks: List[int] = list(range(config.total_blocks))
         self._sequences: Dict[int, SequenceState] = {}
+        self._ref_counts: Dict[int, int] = {}
+        self._free_host_blocks: List[int] = list(range(config.total_host_blocks))
+        self._swapped: Dict[int, SequenceState] = {}
 
     # ------------------------------------------------------------------ queries
     @property
@@ -97,6 +126,18 @@ class PagedKvCache:
     def num_sequences(self) -> int:
         return len(self._sequences)
 
+    @property
+    def num_free_host_blocks(self) -> int:
+        return len(self._free_host_blocks)
+
+    @property
+    def num_used_host_blocks(self) -> int:
+        return self.config.total_host_blocks - self.num_free_host_blocks
+
+    @property
+    def num_swapped_sequences(self) -> int:
+        return len(self._swapped)
+
     def used_bytes(self) -> int:
         return self.num_used_blocks * self.config.bytes_per_block
 
@@ -104,8 +145,18 @@ class PagedKvCache:
         total = self.config.total_blocks
         return self.num_used_blocks / total if total else 0.0
 
+    def host_utilization(self) -> float:
+        total = self.config.total_host_blocks
+        return self.num_used_host_blocks / total if total else 0.0
+
     def sequence(self, seq_id: int) -> SequenceState:
         return self._sequences[seq_id]
+
+    def is_swapped(self, seq_id: int) -> bool:
+        return seq_id in self._swapped
+
+    def swapped_sequence(self, seq_id: int) -> SequenceState:
+        return self._swapped[seq_id]
 
     def can_admit(self, num_tokens: int) -> bool:
         """Would a new sequence of ``num_tokens`` fit right now?"""
@@ -120,10 +171,26 @@ class PagedKvCache:
             raise ValueError("num_tokens must be non-negative")
         return max(0, self.config.blocks_for_tokens(state.num_tokens + num_tokens) - state.num_blocks)
 
+    # ------------------------------------------------------------------ block bookkeeping
+    def _alloc_block(self) -> int:
+        block = self._free_blocks.pop()
+        self._ref_counts[block] = 1
+        return block
+
+    def _release_block(self, block: int) -> int:
+        """Drop one reference; returns 1 if the block went back to the free pool."""
+        remaining = self._ref_counts[block] - 1
+        if remaining == 0:
+            del self._ref_counts[block]
+            self._free_blocks.append(block)
+            return 1
+        self._ref_counts[block] = remaining
+        return 0
+
     # ------------------------------------------------------------------ mutation
     def add_sequence(self, seq_id: int, prompt_tokens: int) -> SequenceState:
         """Admit a new sequence with its prompt already cached (prefill)."""
-        if seq_id in self._sequences:
+        if seq_id in self._sequences or seq_id in self._swapped:
             raise ValueError(f"sequence {seq_id} already resident")
         if prompt_tokens < 0:
             raise ValueError("prompt_tokens must be non-negative")
@@ -133,7 +200,7 @@ class PagedKvCache:
                 f"sequence {seq_id} needs {needed} blocks, only {self.num_free_blocks} free"
             )
         state = SequenceState(seq_id=seq_id, num_tokens=prompt_tokens,
-                              blocks=[self._free_blocks.pop() for _ in range(needed)])
+                              blocks=[self._alloc_block() for _ in range(needed)])
         self._sequences[seq_id] = state
         return state
 
@@ -146,6 +213,8 @@ class PagedKvCache:
 
         Allocation is all-or-nothing: if the pool cannot supply every block the extension
         needs, :class:`KvCacheOutOfMemory` is raised and the sequence is left unchanged.
+        Growing into a tail block shared with a fork first copies that block (copy-on-write),
+        which costs one extra block.
         """
         state = self._sequences.get(seq_id)
         if state is None:
@@ -153,22 +222,122 @@ class PagedKvCache:
         if num_tokens < 0:
             raise ValueError("num_tokens must be non-negative")
         needed = self.blocks_needed_to_extend(seq_id, num_tokens)
-        if needed > self.num_free_blocks:
+        copy_tail = (
+            num_tokens > 0
+            and bool(state.blocks)
+            and self._ref_counts[state.blocks[-1]] > 1
+            and state.num_tokens % self.config.block_tokens != 0
+        )
+        if needed + (1 if copy_tail else 0) > self.num_free_blocks:
             raise KvCacheOutOfMemory(
-                f"sequence {seq_id} needs {needed} blocks to grow by {num_tokens} tokens, "
-                f"only {self.num_free_blocks} free"
+                f"sequence {seq_id} needs {needed + (1 if copy_tail else 0)} blocks to grow "
+                f"by {num_tokens} tokens, only {self.num_free_blocks} free"
             )
-        state.blocks.extend(self._free_blocks.pop() for _ in range(needed))
+        if copy_tail:
+            # The partially filled tail is shared with a fork: copy before writing into it.
+            shared_tail = state.blocks[-1]
+            state.blocks[-1] = self._alloc_block()
+            self._release_block(shared_tail)
+        state.blocks.extend(self._alloc_block() for _ in range(needed))
         state.num_tokens += num_tokens
         return state
 
-    def free_sequence(self, seq_id: int) -> int:
-        """Release a finished sequence; returns the number of blocks returned to the pool."""
-        state = self._sequences.pop(seq_id, None)
+    def truncate_sequence(self, seq_id: int, num_tokens: int) -> SequenceState:
+        """Shrink a resident sequence to ``num_tokens``, releasing now-unused blocks."""
+        state = self._sequences.get(seq_id)
         if state is None:
             raise KeyError(f"unknown sequence {seq_id}")
-        self._free_blocks.extend(state.blocks)
-        return len(state.blocks)
+        if num_tokens < 0 or num_tokens > state.num_tokens:
+            raise ValueError(
+                f"cannot truncate sequence {seq_id} of {state.num_tokens} tokens to {num_tokens}"
+            )
+        keep = self.config.blocks_for_tokens(num_tokens) if num_tokens else 0
+        while state.num_blocks > keep:
+            self._release_block(state.blocks.pop())
+        state.num_tokens = num_tokens
+        return state
+
+    def fork_sequence(self, parent_id: int, child_id: int) -> SequenceState:
+        """Fork a resident sequence: the child shares the parent's blocks (copy-on-fork).
+
+        Sharing is reference counted, so freeing either sequence only returns blocks no
+        other sequence still references; growth through a shared tail block copies it first
+        (see :meth:`extend_sequence`).  Forked (block-sharing) sequences cannot be swapped.
+        """
+        parent = self._sequences.get(parent_id)
+        if parent is None:
+            raise KeyError(f"unknown (or swapped-out) sequence {parent_id}")
+        if child_id in self._sequences or child_id in self._swapped:
+            raise ValueError(f"sequence {child_id} already resident")
+        for block in parent.blocks:
+            self._ref_counts[block] += 1
+        child = SequenceState(seq_id=child_id, num_tokens=parent.num_tokens,
+                              blocks=list(parent.blocks))
+        self._sequences[child_id] = child
+        return child
+
+    def free_sequence(self, seq_id: int) -> int:
+        """Release a finished sequence (device- or host-resident); returns blocks freed."""
+        state = self._sequences.pop(seq_id, None)
+        if state is not None:
+            return sum(self._release_block(block) for block in state.blocks)
+        swapped = self._swapped.pop(seq_id, None)
+        if swapped is not None:
+            self._free_host_blocks.extend(swapped.blocks)
+            return len(swapped.blocks)
+        raise KeyError(f"unknown sequence {seq_id}")
+
+    # ------------------------------------------------------------------ swap (preemption)
+    def can_swap_out(self, seq_id: int) -> bool:
+        """Could ``seq_id`` be swapped to host memory right now?"""
+        state = self._sequences.get(seq_id)
+        if state is None:
+            return False
+        if any(self._ref_counts[b] > 1 for b in state.blocks):
+            return False
+        return state.num_blocks <= self.num_free_host_blocks
+
+    def swap_out(self, seq_id: int) -> int:
+        """Move a resident sequence's blocks to the host pool; returns bytes transferred."""
+        state = self._sequences.get(seq_id)
+        if state is None:
+            raise KeyError(f"unknown sequence {seq_id}")
+        if any(self._ref_counts[b] > 1 for b in state.blocks):
+            raise ValueError(f"sequence {seq_id} shares blocks with a fork; cannot swap out")
+        if state.num_blocks > self.num_free_host_blocks:
+            raise KvCacheOutOfMemory(
+                f"sequence {seq_id} needs {state.num_blocks} host blocks, "
+                f"only {self.num_free_host_blocks} free"
+            )
+        host_blocks = [self._free_host_blocks.pop() for _ in state.blocks]
+        for block in state.blocks:
+            self._release_block(block)
+        del self._sequences[seq_id]
+        self._swapped[seq_id] = SequenceState(seq_id=seq_id, num_tokens=state.num_tokens,
+                                              blocks=host_blocks)
+        return len(host_blocks) * self.config.bytes_per_block
+
+    def can_swap_in(self, seq_id: int) -> bool:
+        """Could a swapped-out ``seq_id`` return to the device pool right now?"""
+        state = self._swapped.get(seq_id)
+        return state is not None and state.num_blocks <= self.num_free_blocks
+
+    def swap_in(self, seq_id: int) -> int:
+        """Move a swapped-out sequence back to the device pool; returns bytes transferred."""
+        state = self._swapped.get(seq_id)
+        if state is None:
+            raise KeyError(f"sequence {seq_id} is not swapped out")
+        if state.num_blocks > self.num_free_blocks:
+            raise KvCacheOutOfMemory(
+                f"sequence {seq_id} needs {state.num_blocks} device blocks to swap in, "
+                f"only {self.num_free_blocks} free"
+            )
+        device_blocks = [self._alloc_block() for _ in state.blocks]
+        self._free_host_blocks.extend(state.blocks)
+        del self._swapped[seq_id]
+        self._sequences[seq_id] = SequenceState(seq_id=seq_id, num_tokens=state.num_tokens,
+                                                blocks=device_blocks)
+        return len(device_blocks) * self.config.bytes_per_block
 
     # ------------------------------------------------------------------ capacity planning
     @staticmethod

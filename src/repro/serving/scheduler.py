@@ -11,12 +11,16 @@ iterations:
   never stalls running decodes for a full serial prefill (Sarathi-style chunked prefill).
 * **Per-sequence attention accounting** — decode attention is charged at each sequence's own
   cached context length via :meth:`ServingEngine.mixed_step_time`, not at the batch maximum.
-* **Preemption and recompute** — when the paged KV pool runs dry mid-decode the scheduler
-  preempts the most recently arrived resident requests (vLLM's recompute policy): their
-  blocks are freed and they re-prefill prompt + already-emitted tokens before continuing.
+* **Policy-driven preemption** — when the paged KV pool runs dry mid-decode the scheduler
+  evicts the lowest-priority resident (per the scheduling policy) and the
+  :class:`~repro.serving.policies.PreemptionPolicy` decides what happens to its KV state:
+  *recompute* (free the blocks, re-prefill prompt + already-emitted tokens later) or *swap*
+  (move the blocks to a bounded host-memory pool over the PCIe link and restore them once
+  device blocks free up, paying the transfer time instead of the re-prefill).
   :class:`KvCacheOutOfMemory` never propagates out of :meth:`run`.
-* **Heap admission** — pending arrivals sit in a min-heap keyed by arrival time; admission
-  pops are O(log n) instead of the old O(n) ``list.pop(0)``.
+* **Policy-keyed admission heap** — pending arrivals sit in a min-heap keyed by arrival
+  time; admitted-but-waiting requests sit in a second heap keyed by the pluggable
+  :class:`~repro.serving.policies.SchedulingPolicy` (FCFS, priority, SJF, max-min fairness).
 
 Per-request timestamps (arrival, first token, completion, preemptions) are recorded so SLO
 metrics (p50/p99 TTFT, TPOT, goodput — :mod:`repro.serving.metrics`) can be computed on top.
@@ -25,14 +29,20 @@ metrics (p50/p99 TTFT, TPOT, goodput — :mod:`repro.serving.metrics`) can be co
 from __future__ import annotations
 
 import copy
+import dataclasses
 import heapq
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from .engine import PrefillChunk, ServingEngine
+from .engine import PrefillChunk, ServingEngine, peak_resident_tokens
 from .kvcache import KvCacheOutOfMemory, PagedKvCache
 from .metrics import SloReport, SloSpec, compute_slo_report
+from .policies import (
+    PreemptionPolicy,
+    SchedulingPolicy,
+    get_preemption_policy,
+    get_scheduling_policy,
+)
 
 __all__ = ["Request", "SchedulerStats", "ContinuousBatchingScheduler"]
 
@@ -45,6 +55,8 @@ class Request:
     prompt_tokens: int
     output_tokens: int
     arrival_time_s: float = 0.0
+    #: Scheduling priority (higher = more important); only the 'priority' policy reads it.
+    priority: int = 0
     # Filled by the scheduler:
     first_token_time_s: Optional[float] = None
     completion_time_s: Optional[float] = None
@@ -57,6 +69,11 @@ class Request:
     @property
     def finished(self) -> bool:
         return self.generated >= self.output_tokens
+
+    @property
+    def decoding(self) -> bool:
+        """True once the current prefill pass is complete (the request emits decode tokens)."""
+        return bool(self.prefill_target) and self.prefilled >= self.prefill_target
 
 
 @dataclass
@@ -78,6 +95,12 @@ class SchedulerStats:
     preemptions: int = 0
     num_iterations: int = 0
     prefill_chunks: int = 0
+    # Swap-based preemption accounting:
+    swap_preemptions: int = 0
+    recompute_preemptions: int = 0
+    swap_ins: int = 0
+    kv_transfer_s: float = 0.0
+    peak_host_kv_utilization: float = 0.0
     requests: List[Request] = field(default_factory=list)
 
     @property
@@ -92,7 +115,13 @@ class SchedulerStats:
 
 
 class ContinuousBatchingScheduler:
-    """Iteration-level scheduler over the serving engine's ragged step-time model."""
+    """Iteration-level scheduler over the serving engine's ragged step-time model.
+
+    ``scheduling_policy`` orders admission (and victim selection); ``preemption_policy``
+    chooses swap vs. recompute per victim.  ``kv_budget_bytes`` / ``host_kv_budget_bytes``
+    override the engine-derived device pool and the system profile's host swap pool — the
+    knobs for KV-pressure studies.
+    """
 
     def __init__(
         self,
@@ -100,6 +129,10 @@ class ContinuousBatchingScheduler:
         max_batch_size: Optional[int] = None,
         max_batched_tokens: Optional[int] = None,
         prefill_chunk_tokens: int = 256,
+        scheduling_policy: Union[str, SchedulingPolicy] = "fcfs",
+        preemption_policy: Union[str, PreemptionPolicy] = "recompute",
+        kv_budget_bytes: Optional[int] = None,
+        host_kv_budget_bytes: Optional[int] = None,
     ):
         self.engine = engine
         if not engine.supported:
@@ -107,6 +140,22 @@ class ContinuousBatchingScheduler:
                 f"system {engine.system.name!r} does not support model {engine.model.name!r}"
             )
         config = engine.kv_cache_config()
+        if kv_budget_bytes is not None and kv_budget_bytes <= 0:
+            raise ValueError("kv_budget_bytes must be positive")
+        if host_kv_budget_bytes is not None and host_kv_budget_bytes < 0:
+            raise ValueError("host_kv_budget_bytes must be non-negative")
+        if kv_budget_bytes is not None or host_kv_budget_bytes is not None:
+            config = dataclasses.replace(
+                config,
+                memory_budget_bytes=(
+                    kv_budget_bytes if kv_budget_bytes is not None
+                    else config.memory_budget_bytes
+                ),
+                host_memory_budget_bytes=(
+                    host_kv_budget_bytes if host_kv_budget_bytes is not None
+                    else config.host_memory_budget_bytes
+                ),
+            )
         if config.memory_budget_bytes <= 0:
             raise KvCacheOutOfMemory("model weights alone exceed the device memory budget")
         if prefill_chunk_tokens < 1:
@@ -115,6 +164,8 @@ class ContinuousBatchingScheduler:
         self.max_batch_size = max_batch_size or engine.system.max_batch_size
         self.max_batched_tokens = max_batched_tokens or engine.system.max_batched_tokens
         self.prefill_chunk_tokens = min(prefill_chunk_tokens, self.max_batched_tokens)
+        self.scheduling_policy = get_scheduling_policy(scheduling_policy)
+        self.preemption_policy = get_preemption_policy(preemption_policy)
 
     # ------------------------------------------------------------------ internals
     def _check_servable(self, request: Request) -> None:
@@ -122,9 +173,7 @@ class ContinuousBatchingScheduler:
             raise ValueError(
                 f"request {request.request_id}: prompt_tokens and output_tokens must be >= 1"
             )
-        # The last generated token is never appended to the cache (it is never an input),
-        # so peak residency is prompt + output - 1 tokens.
-        peak_tokens = request.prompt_tokens + request.output_tokens - 1
+        peak_tokens = peak_resident_tokens(request.prompt_tokens, request.output_tokens)
         needed = self.kv_cache.config.blocks_for_tokens(peak_tokens)
         if needed > self.kv_cache.config.total_blocks:
             raise ValueError(
@@ -132,39 +181,37 @@ class ContinuousBatchingScheduler:
                 f"has only {self.kv_cache.config.total_blocks}; it can never be scheduled"
             )
 
-    def _preempt(self, victim: Request, prefilling: List[Request], running: List[Request],
-                 waiting: Deque[Request]) -> None:
-        """Evict ``victim`` (recompute policy): free its blocks and requeue it first."""
-        self.kv_cache.free_sequence(victim.request_id)
-        victim.preemptions += 1
-        victim.prefilled = 0
-        # Re-prefill the prompt plus every already-emitted token except the newest (whose KV
-        # was never written); emitted tokens themselves are kept — recompute only rebuilds KV.
-        victim.prefill_target = victim.prompt_tokens + max(0, victim.generated - 1)
-        if victim in prefilling:
-            prefilling.remove(victim)
-        else:
-            running.remove(victim)
-        waiting.appendleft(victim)
+    @staticmethod
+    def _resume_tokens(victim: Request) -> int:
+        """Cached tokens the victim needs to resume exactly where it stopped.
+
+        A decoding victim resumes at ``prompt + generated - 1`` (the newest token's KV was
+        never written); a mid-prefill victim resumes at its prefill progress.  A victim that
+        already reserved this iteration's decode slot holds one extra token, which the swap
+        path truncates away before the transfer.
+        """
+        if victim.decoding:
+            return victim.prompt_tokens + max(0, victim.generated - 1)
+        return victim.prefilled
 
     def _pick_victim(self, prefilling: List[Request], running: List[Request],
                      exclude: Optional[Request] = None) -> Optional[Request]:
-        """Latest-arrival resident request (vLLM preempts the lowest-priority sequence)."""
+        """Lowest-priority resident request per the scheduling policy (FCFS: latest arrival)."""
         candidates = [r for r in prefilling + running if r is not exclude]
         if not candidates:
             return None
-        return max(candidates, key=lambda r: (r.arrival_time_s, r.request_id))
+        return self.scheduling_policy.select_victim(candidates)
 
     # ------------------------------------------------------------------ simulation
     def run(self, requests: Sequence[Request]) -> SchedulerStats:
         """Simulate serving ``requests`` to completion and return aggregate statistics.
 
         Never propagates :class:`KvCacheOutOfMemory`: KV exhaustion is absorbed by
-        preempting resident requests and recomputing them later.
+        preempting resident requests (swapping or recomputing them later).
 
         Scheduler-owned fields on each request (timestamps, progress counters) are reset on
-        entry, so the same trace can be re-run — e.g. to A/B two systems — without stale
-        state leaking between runs.
+        entry, so the same trace can be re-run — e.g. to A/B two systems or two policies —
+        without stale state leaking between runs.
         """
         for request in requests:
             self._check_servable(request)
@@ -179,35 +226,129 @@ class ContinuousBatchingScheduler:
             (r.arrival_time_s, r.request_id, r) for r in requests
         ]
         heapq.heapify(arrivals)
-        waiting: Deque[Request] = deque()
+        # Admission heap keyed by the scheduling policy (key evaluated at push time);
+        # a monotone counter breaks ties deterministically.
+        waiting: List[Tuple[Tuple, int, Request]] = []
+        push_counter = 0
         prefilling: List[Request] = []
         running: List[Request] = []
+        swapped: List[Request] = []
         completed: List[Request] = []
 
         clock = 0.0
         generated_tokens = 0
         peak_batch = 0
         peak_util = 0.0
+        peak_host_util = 0.0
         preemption_count = 0
+        swap_count = 0
+        recompute_count = 0
+        swap_in_count = 0
+        transfer_s_total = 0.0
         num_iterations = 0
         chunk_count = 0
 
+        def push_waiting(request: Request) -> None:
+            nonlocal push_counter
+            heapq.heappush(
+                waiting, (self.scheduling_policy.key(request), push_counter, request)
+            )
+            push_counter += 1
+
+        def do_swap_in(request: Request) -> None:
+            """Restore a swapped sequence to the device pool, charging the transfer."""
+            nonlocal clock, transfer_s_total, swap_in_count
+            transfer = self.engine.kv_transfer_time(
+                self.kv_cache.swap_in(request.request_id)
+            )
+            clock += transfer
+            transfer_s_total += transfer
+            swap_in_count += 1
+            swapped.remove(request)
+            if request.decoding:
+                running.append(request)
+            else:
+                prefilling.append(request)
+
         def preempt_one(exclude: Optional[Request] = None) -> bool:
-            nonlocal preemption_count
+            nonlocal preemption_count, swap_count, recompute_count
+            nonlocal clock, transfer_s_total, peak_host_util
             victim = self._pick_victim(prefilling, running, exclude)
             if victim is None:
                 return False
-            self._preempt(victim, prefilling, running, waiting)
+            if victim in prefilling:
+                prefilling.remove(victim)
+            else:
+                running.remove(victim)
+            victim.preemptions += 1
             preemption_count += 1
+            # Drop any decode slot reserved this iteration (its KV is never written)
+            # *before* the policy decides, so swap feasibility and the cost comparison see
+            # the exact state a swap would transfer.
+            self.kv_cache.truncate_sequence(victim.request_id, self._resume_tokens(victim))
+            mode = self.preemption_policy.decide(victim, self.engine, self.kv_cache)
+            # The no-OOM-escape contract is the scheduler's, not the policy's: a policy
+            # (built-in or user-supplied) answering "swap" without host room degrades to
+            # recompute instead of letting swap_out raise out of run().
+            if mode == PreemptionPolicy.SWAP and not self.kv_cache.can_swap_out(
+                victim.request_id
+            ):
+                mode = PreemptionPolicy.RECOMPUTE
+            if mode == PreemptionPolicy.SWAP:
+                # Park the blocks in the host pool and charge the PCIe transfer.
+                transfer = self.engine.kv_transfer_time(
+                    self.kv_cache.swap_out(victim.request_id)
+                )
+                clock += transfer
+                transfer_s_total += transfer
+                swap_count += 1
+                swapped.append(victim)
+                peak_host_util = max(peak_host_util, self.kv_cache.host_utilization())
+            else:
+                # Recompute: free the blocks and re-prefill the prompt plus every already-
+                # emitted token except the newest (whose KV was never written); emitted
+                # tokens themselves are kept — recompute only rebuilds KV.
+                self.kv_cache.free_sequence(victim.request_id)
+                recompute_count += 1
+                victim.prefilled = 0
+                victim.prefill_target = victim.prompt_tokens + max(0, victim.generated - 1)
+                push_waiting(victim)
             return True
 
-        while arrivals or waiting or prefilling or running:
-            # ---- admit arrived requests into the waiting queue (heap pop, O(log n)).
+        while arrivals or waiting or prefilling or running or swapped:
+            # ---- admit arrived requests into the policy-keyed waiting heap.
             while arrivals and arrivals[0][0] <= clock:
-                waiting.append(heapq.heappop(arrivals)[2])
-            if not (waiting or prefilling or running):
+                push_waiting(heapq.heappop(arrivals)[2])
+            if not (waiting or prefilling or running or swapped):
                 clock = arrivals[0][0]
                 continue
+
+            # ---- swap sequences back in while the device pool has headroom: one spare
+            # block per running sequence for this iteration's decode slot plus every
+            # blocks a resident prefill needs for its next chunk.  Reserving the prefill
+            # chunks is what prevents livelock: a swap-in must never reclaim the blocks a
+            # no-progress eviction just freed for a blocked prefill.
+            if swapped:
+                def next_chunk_blocks(r: Request) -> int:
+                    take = min(r.prefill_target - r.prefilled, self.prefill_chunk_tokens)
+                    if take <= 0:
+                        return 0
+                    return self.kv_cache.blocks_needed_to_extend(r.request_id, take)
+
+                # Computed once, then updated incrementally as swap-ins land (the only
+                # thing that changes the resident set inside this pass).
+                headroom = len(running) + sum(next_chunk_blocks(r) for r in prefilling)
+                for request in sorted(swapped, key=self.scheduling_policy.key):
+                    if len(running) + len(prefilling) >= self.max_batch_size:
+                        break
+                    # A decoding sequence also needs its own slot block this iteration.
+                    needed = self.kv_cache.swapped_sequence(request.request_id).num_blocks
+                    if request.decoding:
+                        needed += 1
+                    if needed + headroom > self.kv_cache.num_free_blocks:
+                        continue
+                    do_swap_in(request)
+                    headroom += 1 if request.decoding else next_chunk_blocks(request)
 
             # ---- reserve one decode slot per running sequence, preempting on exhaustion.
             preemptions_before_iteration = preemption_count
@@ -257,13 +398,13 @@ class ContinuousBatchingScheduler:
                     and budget > 0
                     and len(running) + len(prefilling) < self.max_batch_size
                 ):
-                    request = waiting[0]
+                    request = waiting[0][2]
                     if request.prefill_target <= 0:
                         request.prefill_target = request.prompt_tokens
                     take = min(request.prefill_target, self.prefill_chunk_tokens, budget)
                     if not self.kv_cache.can_admit(take):
                         break
-                    waiting.popleft()
+                    heapq.heappop(waiting)
                     self.kv_cache.add_sequence(request.request_id, 0)
                     self.kv_cache.extend_sequence(request.request_id, take)
                     prefilling.append(request)
@@ -272,12 +413,23 @@ class ContinuousBatchingScheduler:
                     chunks.append((request, PrefillChunk(take, 0, produces)))
                     budget -= take
 
+            # ---- sample KV pressure at its within-iteration peak: after slot reservation,
+            # prefill extension and admission, before decode bookkeeping frees blocks.
+            peak_util = max(peak_util, self.kv_cache.utilization())
+            peak_host_util = max(peak_host_util, self.kv_cache.host_utilization())
+
             if decode_batch == 0 and not chunks:
                 # Every resident prefill is blocked on KV with nothing decoding: evict the
-                # latest arrival so the earliest can make progress (bounded by residents).
+                # lowest-priority resident so the others can make progress.
                 if prefilling or running:
                     if preempt_one():
                         continue
+                if swapped:
+                    # Nothing is resident, so the device pool is fully free and any swapped
+                    # sequence fits (each passed the admission guard): resume the one the
+                    # scheduling policy ranks first, preserving its service order.
+                    do_swap_in(min(swapped, key=self.scheduling_policy.key))
+                    continue
                 raise RuntimeError("scheduler made no progress")  # pragma: no cover
 
             # ---- one mixed iteration: ragged decode + prefill chunks in one forward pass.
@@ -316,7 +468,6 @@ class ContinuousBatchingScheduler:
                     running.append(request)
 
             peak_batch = max(peak_batch, decode_batch + len(chunks))
-            peak_util = max(peak_util, self.kv_cache.utilization())
 
         # Snapshot the requests: run() resets/rewrites the caller's objects on a re-run, and
         # the stats (and their slo_report()) must keep describing *this* run afterwards.
@@ -337,5 +488,10 @@ class ContinuousBatchingScheduler:
             preemptions=preemption_count,
             num_iterations=num_iterations,
             prefill_chunks=chunk_count,
+            swap_preemptions=swap_count,
+            recompute_preemptions=recompute_count,
+            swap_ins=swap_in_count,
+            kv_transfer_s=transfer_s_total,
+            peak_host_kv_utilization=peak_host_util,
             requests=snapshot,
         )

@@ -42,6 +42,9 @@ class SystemProfile:
     #: iteration, the vLLM ``max_num_batched_tokens`` knob).  Bounds chunked prefill so a
     #: long prompt cannot stall running decodes for a whole serial prefill.
     max_batched_tokens: int = 2048
+    #: Pinned host memory available per GPU for swap-based preemption (vLLM's ``swap_space``
+    #: knob, 4 GiB by default).  0 disables swapping: every preemption recomputes.
+    host_kv_swap_bytes: int = 4 * 2**30
 
     def __post_init__(self):
         if self.weight_bytes_per_param <= 0:
@@ -52,6 +55,8 @@ class SystemProfile:
             raise ValueError("framework overhead must be non-negative")
         if self.max_batched_tokens < 1:
             raise ValueError("max_batched_tokens must be positive")
+        if self.host_kv_swap_bytes < 0:
+            raise ValueError("host_kv_swap_bytes must be non-negative")
 
 
 #: Deployed bytes per parameter for the two-level 4-bit formats: 4-bit codes plus one byte of

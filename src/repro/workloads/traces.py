@@ -97,6 +97,18 @@ class LengthDistribution:
             raise ValueError(f"unknown length distribution kind {self.kind!r}")
         if self.minimum < 1 or self.maximum < self.minimum:
             raise ValueError("need 1 <= minimum <= maximum")
+        # Only the active kind's parameters are validated: e.g. the uniform bounds keep
+        # their defaults (and stay unchecked) when kind="lognormal".
+        if self.kind == "uniform" and not 1 <= self.low < self.high:
+            raise ValueError(
+                f"uniform bounds must satisfy 1 <= low < high (high is exclusive), "
+                f"got low={self.low}, high={self.high}"
+            )
+        if self.kind == "lognormal":
+            if self.sigma <= 0:
+                raise ValueError(f"lognormal sigma must be positive, got sigma={self.sigma}")
+            if self.median <= 0:
+                raise ValueError(f"lognormal median must be positive, got median={self.median}")
 
     @staticmethod
     def constant(value: int) -> "LengthDistribution":
@@ -136,30 +148,51 @@ def generate_trace(
     output_lengths: LengthDistribution,
     seed: int = 0,
     start_id: int = 0,
+    priorities: Optional[Sequence[int]] = None,
+    num_priority_levels: int = 1,
 ) -> List["Request"]:
-    """Generate a reproducible request trace for the continuous-batching scheduler."""
+    """Generate a reproducible request trace for the continuous-batching scheduler.
+
+    ``priorities`` assigns each request an explicit scheduling priority (higher = more
+    important; consumed by the 'priority' scheduling policy).  Without it,
+    ``num_priority_levels > 1`` samples levels uniformly from ``0..num_priority_levels-1``
+    — drawn *after* the length samples, so traces keep their historical lengths and
+    arrival times under the same seed.
+    """
     # Imported here: workloads must stay importable from repro.serving.engine (shapes).
     from ..serving.scheduler import Request
 
     if num_requests < 1:
         raise ValueError("num_requests must be >= 1")
+    if num_priority_levels < 1:
+        raise ValueError("num_priority_levels must be >= 1")
+    if priorities is not None and len(priorities) != num_requests:
+        raise ValueError(
+            f"priorities has {len(priorities)} entries for {num_requests} requests"
+        )
     rng = np.random.default_rng(seed)
     arrival_times = arrivals.sample(num_requests, rng)
     prompts = prompt_lengths.sample(num_requests, rng)
     outputs = output_lengths.sample(num_requests, rng)
+    if priorities is None:
+        if num_priority_levels > 1:
+            priorities = rng.integers(0, num_priority_levels, size=num_requests)
+        else:
+            priorities = np.zeros(num_requests, dtype=int)
     return [
         Request(
             request_id=start_id + i,
             prompt_tokens=int(prompts[i]),
             output_tokens=int(outputs[i]),
             arrival_time_s=float(arrival_times[i]),
+            priority=int(priorities[i]),
         )
         for i in range(num_requests)
     ]
 
 
 def sharegpt_trace(num_requests: int, rate_rps: float, seed: int = 0,
-                   cv: float = 1.0) -> List["Request"]:
+                   cv: float = 1.0, num_priority_levels: int = 1) -> List["Request"]:
     """A ShareGPT-like long-tail trace with Poisson (or Gamma, ``cv != 1``) arrivals."""
     return generate_trace(
         num_requests,
@@ -167,4 +200,5 @@ def sharegpt_trace(num_requests: int, rate_rps: float, seed: int = 0,
         SHAREGPT_PROMPTS,
         SHAREGPT_OUTPUTS,
         seed=seed,
+        num_priority_levels=num_priority_levels,
     )

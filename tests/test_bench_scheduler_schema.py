@@ -1,0 +1,66 @@
+"""The committed BENCH_scheduler.json must match the documented schema and carry the
+acceptance flags, so the per-PR perf trajectory stays machine-comparable."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
+_BENCH_PY = os.path.join(_ROOT, "benchmarks", "bench_scheduler.py")
+_BENCH_JSON = os.path.join(_ROOT, "BENCH_scheduler.json")
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_scheduler", _BENCH_PY)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return _load_bench_module()
+
+
+@pytest.fixture(scope="module")
+def payload():
+    with open(_BENCH_JSON, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestBenchSchema:
+    def test_committed_result_matches_schema(self, bench, payload):
+        bench.validate_payload(payload)  # raises on any mismatch
+
+    def test_committed_result_is_full_mode(self, payload):
+        """--fast exists for CI; the committed trajectory must stay full-size runs so
+        numbers remain comparable across PRs."""
+        assert payload["mode"] == "full"
+
+    def test_acceptance_flags_hold(self, payload):
+        """The A/B criteria this simulator is accepted against: the cost-based hybrid never
+        loses goodput to recompute-only, and SJF cuts p99 TTFT vs. FCFS on the long tail."""
+        assert payload["preemption_ab"]["hybrid_goodput_ge_recompute"] is True
+        assert payload["scheduling_ab"]["sjf_p99_ttft_improves"] is True
+
+    def test_ab_sections_cover_all_policies(self, payload):
+        assert set(payload["preemption_ab"]["policies"]) == {"recompute", "swap", "hybrid"}
+        assert set(payload["scheduling_ab"]["policies"]) == {
+            "fcfs", "priority", "sjf", "fairness"
+        }
+
+    def test_validator_rejects_mutations(self, bench, payload):
+        broken = json.loads(json.dumps(payload))
+        del broken["preemption_ab"]["hybrid_goodput_ge_recompute"]
+        with pytest.raises(ValueError, match="missing required key"):
+            bench.validate_payload(broken)
+        broken = json.loads(json.dumps(payload))
+        broken["trace_simulation"]["simulated"]["preemptions"] = "many"
+        with pytest.raises(ValueError, match="expected int"):
+            bench.validate_payload(broken)
+        broken = json.loads(json.dumps(payload))
+        broken["trace_simulation"]["harness"]["wall_time_s"] = True
+        with pytest.raises(ValueError, match="expected float, got bool"):
+            bench.validate_payload(broken)

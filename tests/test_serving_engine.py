@@ -148,6 +148,40 @@ class TestServingEngineTiming:
         assert point.request_latency_s > point.decode_step_s
         assert point.fits_in_memory
 
+    def test_throughput_fits_uses_peak_residency(self):
+        """Regression: fits_in_memory checked input+output tokens while the scheduler's
+        admission guard uses peak residency input+output-1 (the last generated token is
+        never appended); a batch exactly at capacity was misreported as OOM."""
+        engine = ServingEngine("liquidserve", "llama2-7b")
+        # Lengths straddling a block boundary: peak residency needs one block fewer than
+        # the naive input+output count, so the two capacities differ.
+        input_len, output_len = 1024, 513
+        at_peak = engine.max_batch_size(input_len + output_len - 1)
+        naive = engine.max_batch_size(input_len + output_len)
+        assert at_peak > naive
+        assert engine.throughput(at_peak, input_len, output_len).fits_in_memory
+        assert not engine.throughput(at_peak + 1, input_len, output_len).fits_in_memory
+
+    def test_kv_transfer_time_scales_with_bytes(self):
+        engine = ServingEngine("liquidserve", "llama2-7b")
+        assert engine.kv_transfer_time(0) == 0.0
+        one_mb = engine.kv_transfer_time(2**20)
+        ten_mb = engine.kv_transfer_time(10 * 2**20)
+        assert 0 < one_mb < ten_mb
+        # Fixed DMA latency means 10x the bytes costs less than 10x the time.
+        assert ten_mb < 10 * one_mb
+
+    def test_recompute_time_grows_with_context(self):
+        engine = ServingEngine("liquidserve", "llama2-7b")
+        assert engine.recompute_time(0) == 0.0
+        assert 0 < engine.recompute_time(256) < engine.recompute_time(2048)
+
+    def test_host_swap_budget_reaches_kv_config(self):
+        engine = ServingEngine("liquidserve", "llama2-7b")
+        config = engine.kv_cache_config()
+        assert config.host_memory_budget_bytes == engine.system.host_kv_swap_bytes
+        assert config.total_host_blocks > 0
+
 
 class TestTable1Properties:
     """The qualitative structure of Table 1 that the reproduction must preserve."""

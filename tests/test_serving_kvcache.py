@@ -9,12 +9,14 @@ from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, 
 from repro.serving import KvCacheConfig, KvCacheOutOfMemory, PagedKvCache, get_model
 
 
-def make_config(budget_mb=64, kv_format="int8", block_tokens=16, model="llama2-7b"):
+def make_config(budget_mb=64, kv_format="int8", block_tokens=16, model="llama2-7b",
+                host_budget_mb=0):
     return KvCacheConfig(
         model=get_model(model),
         kv_format=kv_format,
         block_tokens=block_tokens,
         memory_budget_bytes=budget_mb * 2**20,
+        host_memory_budget_bytes=host_budget_mb * 2**20,
     )
 
 
@@ -143,6 +145,204 @@ class TestPagedKvCache:
         assert shard.bytes_per_token == pytest.approx(full.bytes_per_token / 4)
 
 
+class TestHostSwap:
+    def test_swap_out_moves_blocks_to_host(self):
+        cache = PagedKvCache(make_config(host_budget_mb=64))
+        state = cache.add_sequence(1, 100)
+        held = state.num_blocks
+        moved = cache.swap_out(1)
+        assert moved == held * cache.config.bytes_per_block
+        assert cache.num_used_blocks == 0
+        assert cache.num_used_host_blocks == held
+        assert cache.is_swapped(1)
+        assert cache.num_swapped_sequences == 1
+        assert cache.swapped_sequence(1).num_tokens == 100
+        with pytest.raises(KeyError):
+            cache.sequence(1)
+
+    def test_swap_round_trip_restores_sequence(self):
+        cache = PagedKvCache(make_config(host_budget_mb=64))
+        cache.add_sequence(1, 100)
+        cache.swap_out(1)
+        moved = cache.swap_in(1)
+        assert moved == cache.sequence(1).num_blocks * cache.config.bytes_per_block
+        assert cache.sequence(1).num_tokens == 100
+        assert not cache.is_swapped(1)
+        assert cache.num_used_host_blocks == 0
+        cache.append_token(1)  # the restored sequence is fully usable
+        assert cache.sequence(1).num_tokens == 101
+
+    def test_swap_out_oom_when_host_pool_too_small(self):
+        cfg = make_config(budget_mb=64, host_budget_mb=0)
+        cache = PagedKvCache(cfg)
+        cache.add_sequence(1, 100)
+        assert not cache.can_swap_out(1)
+        with pytest.raises(KvCacheOutOfMemory):
+            cache.swap_out(1)
+        assert cache.sequence(1).num_tokens == 100  # unchanged on failure
+
+    def test_swap_in_oom_when_device_full(self):
+        cfg = make_config(budget_mb=8, host_budget_mb=64, block_tokens=16)
+        cache = PagedKvCache(cfg)
+        cache.add_sequence(1, 32)
+        cache.swap_out(1)
+        cache.add_sequence(2, cfg.total_blocks * 16)  # refill the device pool
+        assert not cache.can_swap_in(1)
+        with pytest.raises(KvCacheOutOfMemory):
+            cache.swap_in(1)
+        assert cache.is_swapped(1)  # unchanged on failure
+        cache.free_sequence(2)
+        cache.swap_in(1)
+        assert cache.sequence(1).num_tokens == 32
+
+    def test_free_swapped_sequence_releases_host_blocks(self):
+        cache = PagedKvCache(make_config(host_budget_mb=64))
+        cache.add_sequence(1, 100)
+        held = cache.sequence(1).num_blocks
+        cache.swap_out(1)
+        assert cache.free_sequence(1) == held
+        assert cache.num_used_host_blocks == 0
+        assert cache.num_swapped_sequences == 0
+
+    def test_swapped_id_cannot_be_readded(self):
+        cache = PagedKvCache(make_config(host_budget_mb=64))
+        cache.add_sequence(1, 16)
+        cache.swap_out(1)
+        with pytest.raises(ValueError):
+            cache.add_sequence(1, 16)
+
+    def test_unknown_sequence_swap_errors(self):
+        cache = PagedKvCache(make_config(host_budget_mb=64))
+        with pytest.raises(KeyError):
+            cache.swap_out(42)
+        with pytest.raises(KeyError):
+            cache.swap_in(42)
+        assert not cache.can_swap_out(42)
+        assert not cache.can_swap_in(42)
+
+    def test_host_utilization_range(self):
+        cache = PagedKvCache(make_config(host_budget_mb=64))
+        assert cache.host_utilization() == 0.0
+        cache.add_sequence(1, 100)
+        cache.swap_out(1)
+        assert 0.0 < cache.host_utilization() <= 1.0
+        # No host pool configured -> utilization is defined as 0.
+        assert PagedKvCache(make_config(host_budget_mb=0)).host_utilization() == 0.0
+
+    @given(
+        prompts=st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=8),
+        swap_mask=st.lists(st.booleans(), min_size=8, max_size=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_swap_round_trip_preserves_state(self, prompts, swap_mask):
+        """Swapping any subset out and back leaves every sequence and both pools intact."""
+        # 16 device + 16 host blocks; each sequence needs at most 2 blocks, so 8 always fit.
+        cache = PagedKvCache(make_config(budget_mb=64, host_budget_mb=64))
+        for seq_id, prompt in enumerate(prompts):
+            cache.add_sequence(seq_id, prompt)
+        blocks_before = {i: cache.sequence(i).num_blocks for i in range(len(prompts))}
+        used_before = cache.num_used_blocks
+        swapped = [i for i in range(len(prompts)) if swap_mask[i] and cache.can_swap_out(i)]
+        for seq_id in swapped:
+            cache.swap_out(seq_id)
+        assert cache.num_used_host_blocks == sum(blocks_before[i] for i in swapped)
+        for seq_id in swapped:
+            assert cache.swap_in(seq_id)  # bytes moved is positive for non-empty seqs
+        assert cache.num_used_blocks == used_before
+        assert cache.num_used_host_blocks == 0
+        for seq_id, prompt in enumerate(prompts):
+            assert cache.sequence(seq_id).num_tokens == prompt
+            assert cache.sequence(seq_id).num_blocks == blocks_before[seq_id]
+        for seq_id in range(len(prompts)):
+            cache.free_sequence(seq_id)
+        assert cache.num_used_blocks == 0 and cache.num_used_host_blocks == 0
+
+
+class TestCopyOnFork:
+    def test_fork_shares_blocks(self):
+        cache = PagedKvCache(make_config())
+        parent = cache.add_sequence(1, 100)
+        child = cache.fork_sequence(1, 2)
+        assert child.num_tokens == 100
+        assert child.blocks == parent.blocks
+        # Sharing is free: no new physical blocks were allocated.
+        assert cache.num_used_blocks == parent.num_blocks
+
+    def test_free_parent_keeps_child_blocks_alive(self):
+        cache = PagedKvCache(make_config())
+        cache.add_sequence(1, 100)
+        cache.fork_sequence(1, 2)
+        assert cache.free_sequence(1) == 0  # every block still referenced by the child
+        held = cache.sequence(2).num_blocks
+        assert cache.num_used_blocks == held
+        assert cache.free_sequence(2) == held
+        assert cache.num_used_blocks == 0
+
+    def test_append_to_fork_copies_shared_tail(self):
+        cache = PagedKvCache(make_config(block_tokens=16))
+        parent = cache.add_sequence(1, 24)  # 2 blocks, tail half full
+        child = cache.fork_sequence(1, 2)
+        used_before = cache.num_used_blocks
+        cache.append_token(2)
+        # The shared partial tail was copied before the write (copy-on-write).
+        assert cache.sequence(2).blocks[-1] != parent.blocks[-1]
+        assert cache.sequence(2).blocks[0] == parent.blocks[0]
+        assert cache.num_used_blocks == used_before + 1
+        assert parent.num_tokens == 24  # parent untouched
+        assert child.num_tokens == 25
+
+    def test_append_to_fork_with_full_tail_shares_prefix(self):
+        cache = PagedKvCache(make_config(block_tokens=16))
+        parent = cache.add_sequence(1, 32)  # 2 full blocks
+        cache.fork_sequence(1, 2)
+        cache.append_token(2)
+        # No copy needed: the new token opens a fresh block, the full prefix stays shared.
+        assert cache.sequence(2).blocks[:2] == parent.blocks
+        assert cache.sequence(2).num_blocks == 3
+
+    def test_cow_is_all_or_nothing_on_oom(self):
+        cfg = make_config(budget_mb=8, block_tokens=16)
+        cache = PagedKvCache(cfg)
+        cache.add_sequence(1, cfg.total_blocks * 16 - 8)  # fills the pool, tail half full
+        cache.fork_sequence(1, 2)
+        with pytest.raises(KvCacheOutOfMemory):
+            cache.append_token(2)  # needs a CoW block and the pool is empty
+        assert cache.sequence(2).num_tokens == cfg.total_blocks * 16 - 8
+        assert cache.sequence(2).blocks == cache.sequence(1).blocks
+
+    def test_fork_validation(self):
+        cache = PagedKvCache(make_config(host_budget_mb=64))
+        cache.add_sequence(1, 16)
+        with pytest.raises(KeyError):
+            cache.fork_sequence(42, 2)
+        with pytest.raises(ValueError):
+            cache.fork_sequence(1, 1)
+        cache.swap_out(1)
+        with pytest.raises(KeyError):
+            cache.fork_sequence(1, 2)  # swapped-out parents cannot fork
+
+    def test_forked_sequence_cannot_swap(self):
+        cache = PagedKvCache(make_config(host_budget_mb=64))
+        cache.add_sequence(1, 100)
+        cache.fork_sequence(1, 2)
+        assert not cache.can_swap_out(1)
+        with pytest.raises(ValueError):
+            cache.swap_out(1)
+
+    def test_truncate_releases_blocks(self):
+        cache = PagedKvCache(make_config(block_tokens=16))
+        cache.add_sequence(1, 100)
+        cache.truncate_sequence(1, 33)
+        assert cache.sequence(1).num_tokens == 33
+        assert cache.sequence(1).num_blocks == 3
+        cache.truncate_sequence(1, 0)
+        assert cache.sequence(1).num_blocks == 0
+        with pytest.raises(ValueError):
+            cache.truncate_sequence(1, 1)  # cannot grow via truncate
+        with pytest.raises(KeyError):
+            cache.truncate_sequence(42, 0)
+
+
 class KvCacheMachine(RuleBasedStateMachine):
     """Stateful property test: the allocator never double-books or leaks blocks."""
 
@@ -234,3 +434,144 @@ class KvCacheMachine(RuleBasedStateMachine):
 
 
 TestKvCacheStateMachine = KvCacheMachine.TestCase
+
+
+class KvForkSwapMachine(RuleBasedStateMachine):
+    """Stateful property test over the full API: fork/CoW, swap, truncate interleavings.
+
+    Unlike :class:`KvCacheMachine` (which asserts the stricter unshared-blocks invariants
+    of the plain workload), this machine models reference counting explicitly: a device
+    block's refcount must always equal the number of resident sequences holding it, both
+    pools must conserve blocks, and a swapped sequence must round-trip intact.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.config = make_config(budget_mb=64, block_tokens=16, host_budget_mb=32)
+        self.cache = PagedKvCache(self.config)
+        self.resident = {}   # seq_id -> tokens (device)
+        self.swapped = {}    # seq_id -> tokens (host)
+        self.next_id = 0
+
+    def _any_shared(self, seq_id):
+        blocks = set(self.cache.sequence(seq_id).blocks)
+        return any(
+            blocks & set(self.cache.sequence(other).blocks)
+            for other in self.resident if other != seq_id
+        )
+
+    @rule(prompt=st.integers(min_value=0, max_value=120))
+    def add(self, prompt):
+        seq_id = self.next_id
+        self.next_id += 1
+        try:
+            self.cache.add_sequence(seq_id, prompt)
+        except KvCacheOutOfMemory:
+            assert self.config.blocks_for_tokens(prompt) > self.cache.num_free_blocks
+        else:
+            self.resident[seq_id] = prompt
+
+    @precondition(lambda self: self.resident)
+    @rule(data=st.data(), chunk=st.integers(min_value=0, max_value=60))
+    def extend(self, data, chunk):
+        seq_id = data.draw(st.sampled_from(sorted(self.resident)))
+        tokens_before = self.cache.sequence(seq_id).num_tokens
+        try:
+            self.cache.extend_sequence(seq_id, chunk)
+        except KvCacheOutOfMemory:
+            # All-or-nothing: nothing changed (CoW may have demanded one extra block).
+            assert self.cache.sequence(seq_id).num_tokens == tokens_before
+        else:
+            self.resident[seq_id] += chunk
+
+    @precondition(lambda self: self.resident)
+    @rule(data=st.data())
+    def fork(self, data):
+        parent = data.draw(st.sampled_from(sorted(self.resident)))
+        child = self.next_id
+        self.next_id += 1
+        used_before = self.cache.num_used_blocks
+        self.cache.fork_sequence(parent, child)
+        assert self.cache.num_used_blocks == used_before  # sharing allocates nothing
+        self.resident[child] = self.resident[parent]
+
+    @precondition(lambda self: self.resident)
+    @rule(data=st.data(), keep_fraction=st.floats(min_value=0.0, max_value=1.0))
+    def truncate(self, data, keep_fraction):
+        seq_id = data.draw(st.sampled_from(sorted(self.resident)))
+        keep = int(self.resident[seq_id] * keep_fraction)
+        self.cache.truncate_sequence(seq_id, keep)
+        self.resident[seq_id] = keep
+
+    @precondition(lambda self: self.resident)
+    @rule(data=st.data())
+    def swap_out(self, data):
+        seq_id = data.draw(st.sampled_from(sorted(self.resident)))
+        shared = self._any_shared(seq_id)
+        blocks = self.cache.sequence(seq_id).num_blocks
+        if not self.cache.can_swap_out(seq_id):
+            assert shared or blocks > self.cache.num_free_host_blocks
+            return
+        moved = self.cache.swap_out(seq_id)
+        assert moved == blocks * self.config.bytes_per_block
+        self.swapped[seq_id] = self.resident.pop(seq_id)
+
+    @precondition(lambda self: self.swapped)
+    @rule(data=st.data())
+    def swap_in(self, data):
+        seq_id = data.draw(st.sampled_from(sorted(self.swapped)))
+        blocks = self.cache.swapped_sequence(seq_id).num_blocks
+        if not self.cache.can_swap_in(seq_id):
+            assert blocks > self.cache.num_free_blocks
+            return
+        self.cache.swap_in(seq_id)
+        tokens = self.swapped.pop(seq_id)
+        self.resident[seq_id] = tokens
+        assert self.cache.sequence(seq_id).num_tokens == tokens  # round-trip intact
+
+    @precondition(lambda self: self.resident or self.swapped)
+    @rule(data=st.data())
+    def free(self, data):
+        seq_id = data.draw(st.sampled_from(sorted(self.resident) + sorted(self.swapped)))
+        self.cache.free_sequence(seq_id)
+        self.resident.pop(seq_id, None)
+        self.swapped.pop(seq_id, None)
+
+    @invariant()
+    def refcounts_match_resident_references(self):
+        counts = {}
+        for seq_id in self.resident:
+            for block in self.cache.sequence(seq_id).blocks:
+                counts[block] = counts.get(block, 0) + 1
+        assert counts == self.cache._ref_counts
+
+    @invariant()
+    def both_pools_conserve_blocks(self):
+        device_used = set()
+        for seq_id in self.resident:
+            device_used.update(self.cache.sequence(seq_id).blocks)
+        assert len(device_used) == self.cache.num_used_blocks
+        assert device_used | set(self.cache._free_blocks) == set(
+            range(self.config.total_blocks)
+        )
+        host_used = []
+        for seq_id in self.swapped:
+            host_used.extend(self.cache.swapped_sequence(seq_id).blocks)
+        assert len(host_used) == len(set(host_used)) == self.cache.num_used_host_blocks
+        assert set(host_used) | set(self.cache._free_host_blocks) == set(
+            range(self.config.total_host_blocks)
+        )
+
+    @invariant()
+    def token_and_block_counts_consistent(self):
+        for seq_id, tokens in self.resident.items():
+            state = self.cache.sequence(seq_id)
+            assert state.num_tokens == tokens
+            assert state.num_blocks == self.config.blocks_for_tokens(tokens)
+        for seq_id, tokens in self.swapped.items():
+            state = self.cache.swapped_sequence(seq_id)
+            assert state.num_tokens == tokens
+            assert state.num_blocks == self.config.blocks_for_tokens(tokens)
+
+
+TestKvForkSwapStateMachine = KvForkSwapMachine.TestCase

@@ -205,6 +205,108 @@ class TestPreemption:
         assert scheduler.kv_cache.num_used_blocks == 0
 
 
+class TestPeakKvUtilization:
+    def test_peak_sampled_before_completed_blocks_are_freed(self, engine):
+        """Regression: the peak used to be sampled after decode bookkeeping freed completed
+        sequences, so a run whose only resident finished that iteration reported ~0."""
+        scheduler = ContinuousBatchingScheduler(engine, prefill_chunk_tokens=4096)
+        stats = scheduler.run([Request(0, prompt_tokens=1000, output_tokens=1)])
+        config = scheduler.kv_cache.config
+        expected = config.blocks_for_tokens(1000) / config.total_blocks
+        assert stats.peak_kv_utilization == pytest.approx(expected)
+
+    def test_peak_covers_mid_iteration_residency(self, engine):
+        scheduler = small_pool_scheduler(engine, budget_mb=256, max_batch_size=16)
+        stats = scheduler.run(
+            [Request(i, prompt_tokens=300, output_tokens=64) for i in range(12)]
+        )
+        assert stats.peak_kv_utilization > 0.9  # the pool saturates under this pressure
+        assert stats.peak_kv_utilization <= 1.0
+
+
+class TestConservationInvariants:
+    """After any run(): tokens conserved, both KV pools drained, preemptions add up."""
+
+    @pytest.mark.parametrize("preemption_policy", ["recompute", "swap", "hybrid"])
+    def test_preemption_paths_conserve(self, engine, preemption_policy):
+        scheduler = ContinuousBatchingScheduler(
+            engine,
+            max_batch_size=16,
+            preemption_policy=preemption_policy,
+            kv_budget_bytes=256 * 2**20,
+            host_kv_budget_bytes=512 * 2**20,
+        )
+        requests = [Request(i, prompt_tokens=300, output_tokens=64,
+                            arrival_time_s=0.005 * i) for i in range(12)]
+        stats = scheduler.run(requests)
+        assert stats.completed_requests == 12
+        assert stats.preemptions > 0  # the shrunken pool must actually churn
+        for r in stats.requests:
+            assert r.generated == r.output_tokens
+        assert stats.generated_tokens == sum(r.output_tokens for r in stats.requests)
+        assert scheduler.kv_cache.num_used_blocks == 0
+        assert scheduler.kv_cache.num_used_host_blocks == 0
+        assert scheduler.kv_cache.num_swapped_sequences == 0
+        assert sum(r.preemptions for r in stats.requests) == stats.preemptions
+        assert stats.swap_preemptions + stats.recompute_preemptions == stats.preemptions
+
+    def test_swap_policy_actually_swaps_and_charges_transfers(self, engine):
+        scheduler = ContinuousBatchingScheduler(
+            engine,
+            max_batch_size=16,
+            preemption_policy="swap",
+            kv_budget_bytes=256 * 2**20,
+            host_kv_budget_bytes=512 * 2**20,
+        )
+        requests = [Request(i, prompt_tokens=300, output_tokens=64) for i in range(12)]
+        stats = scheduler.run(requests)
+        assert stats.swap_preemptions > 0
+        assert stats.swap_ins == stats.swap_preemptions  # every victim came back
+        assert stats.kv_transfer_s > 0.0
+        assert 0.0 < stats.peak_host_kv_utilization <= 1.0
+
+    def test_swap_with_zero_host_budget_degrades_to_recompute(self, engine):
+        scheduler = ContinuousBatchingScheduler(
+            engine,
+            max_batch_size=16,
+            preemption_policy="swap",
+            kv_budget_bytes=256 * 2**20,
+            host_kv_budget_bytes=0,
+        )
+        requests = [Request(i, prompt_tokens=300, output_tokens=64) for i in range(12)]
+        stats = scheduler.run(requests)
+        assert stats.completed_requests == 12
+        assert stats.preemptions > 0
+        assert stats.swap_preemptions == 0
+        assert stats.recompute_preemptions == stats.preemptions
+
+    def test_swap_in_never_starves_blocked_prefills(self, engine):
+        """Regression: with both residents stalled mid-prefill, a no-progress eviction
+        freed blocks that the next iteration's swap-in pass immediately reclaimed — the
+        blocked prefill never extended and run() cycled swap-out/swap-in forever."""
+        bpb = engine.kv_cache_config().bytes_per_block
+        scheduler = ContinuousBatchingScheduler(
+            engine,
+            preemption_policy="swap",
+            kv_budget_bytes=40 * bpb,
+            host_kv_budget_bytes=40 * bpb,
+        )
+        stats = scheduler.run([Request(0, 500, 2), Request(1, 500, 2)])
+        assert stats.completed_requests == 2
+        assert scheduler.kv_cache.num_used_blocks == 0
+        assert scheduler.kv_cache.num_used_host_blocks == 0
+
+    def test_rerun_with_swap_policy_is_deterministic(self, engine):
+        requests = [Request(i, prompt_tokens=300, output_tokens=32) for i in range(10)]
+        kwargs = dict(max_batch_size=16, preemption_policy="swap",
+                      kv_budget_bytes=256 * 2**20, host_kv_budget_bytes=512 * 2**20)
+        first = ContinuousBatchingScheduler(engine, **kwargs).run(requests)
+        second = ContinuousBatchingScheduler(engine, **kwargs).run(requests)
+        assert second.simulated_time_s == pytest.approx(first.simulated_time_s)
+        assert second.swap_preemptions == first.swap_preemptions
+        assert second.kv_transfer_s == pytest.approx(first.kv_transfer_s)
+
+
 class TestSchedulerStats:
     def test_latency_percentiles_and_slo(self, engine):
         scheduler = ContinuousBatchingScheduler(engine, max_batch_size=16)

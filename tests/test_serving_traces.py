@@ -77,6 +77,27 @@ class TestLengthDistribution:
         with pytest.raises(ValueError):
             LengthDistribution(kind="constant", minimum=0)
 
+    def test_degenerate_uniform_bounds_rejected_clearly(self):
+        """Regression: uniform(5, 5) used to die deep inside numpy; low=0 emitted 0-token
+        prompts that the scheduler's admission guard later rejected."""
+        with pytest.raises(ValueError, match="1 <= low < high"):
+            LengthDistribution.uniform(5, 5)
+        with pytest.raises(ValueError, match="1 <= low < high"):
+            LengthDistribution.uniform(0, 16)
+        with pytest.raises(ValueError, match="1 <= low < high"):
+            LengthDistribution.uniform(32, 16)
+        assert LengthDistribution.uniform(1, 2).low == 1  # the smallest legal band
+
+    def test_uniform_bounds_not_validated_for_other_kinds(self):
+        # kind="lognormal" keeps the (unused) uniform defaults; they must not be checked.
+        assert LengthDistribution.lognormal(median=10.0, sigma=0.5).sigma == 0.5
+
+    def test_lognormal_shape_validated(self):
+        with pytest.raises(ValueError, match="sigma must be positive"):
+            LengthDistribution.lognormal(median=100.0, sigma=0.0)
+        with pytest.raises(ValueError, match="median must be positive"):
+            LengthDistribution.lognormal(median=0.0, sigma=1.0)
+
 
 class TestTraceGeneration:
     def test_deterministic_under_seed(self):
@@ -108,6 +129,40 @@ class TestTraceGeneration:
     def test_num_requests_validation(self):
         with pytest.raises(ValueError):
             generate_trace(0, ArrivalProcess.poisson(1.0), SHAREGPT_PROMPTS, SHAREGPT_OUTPUTS)
+
+    def test_priorities_default_to_zero(self):
+        trace = sharegpt_trace(32, rate_rps=10.0, seed=7)
+        assert all(r.priority == 0 for r in trace)
+
+    def test_priority_levels_sampled_without_perturbing_lengths(self):
+        """Priorities are drawn after the length samples, so the same seed yields the same
+        prompts/outputs/arrivals whether or not priorities are requested."""
+        plain = sharegpt_trace(64, rate_rps=10.0, seed=7)
+        tiered = sharegpt_trace(64, rate_rps=10.0, seed=7, num_priority_levels=4)
+        assert [(r.prompt_tokens, r.output_tokens, r.arrival_time_s) for r in plain] == [
+            (r.prompt_tokens, r.output_tokens, r.arrival_time_s) for r in tiered
+        ]
+        levels = {r.priority for r in tiered}
+        assert levels <= set(range(4))
+        assert len(levels) > 1  # 64 draws over 4 levels: all-equal is (1/4)^63-unlikely
+
+    def test_explicit_priorities(self):
+        explicit = list(range(10))
+        trace = generate_trace(
+            10, ArrivalProcess.poisson(5.0), SHAREGPT_PROMPTS, SHAREGPT_OUTPUTS,
+            seed=3, priorities=explicit,
+        )
+        assert [r.priority for r in trace] == explicit
+        with pytest.raises(ValueError, match="priorities has"):
+            generate_trace(
+                10, ArrivalProcess.poisson(5.0), SHAREGPT_PROMPTS, SHAREGPT_OUTPUTS,
+                priorities=[1, 2],
+            )
+        with pytest.raises(ValueError, match="num_priority_levels"):
+            generate_trace(
+                10, ArrivalProcess.poisson(5.0), SHAREGPT_PROMPTS, SHAREGPT_OUTPUTS,
+                num_priority_levels=0,
+            )
 
 
 class TestPercentile:
