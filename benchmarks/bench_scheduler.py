@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Performance harness for the request-level scheduler simulation.
 
-Four sections, written to ``BENCH_scheduler.json`` at the repository root so subsequent PRs
+Five sections, written to ``BENCH_scheduler.json`` at the repository root so subsequent PRs
 can track both simulator wall-time (is the scheduler hot loop regressing?) and the simulated
 serving metrics (did a change silently alter the model?):
 
@@ -14,25 +14,33 @@ serving metrics (did a change silently alter the model?):
 * ``scheduling_ab`` — the same trace under FCFS vs. priority vs. SJF vs. max-min fairness
   admission; ``sjf_p99_ttft_improves`` asserts SJF cuts p99 TTFT vs. FCFS on this long-tail
   workload;
+* ``cluster_ab`` — a prefill-heavy ShareGPT trace served at equal total GPU count by a
+  co-located 4-replica cluster vs. a disaggregated 2-prefill + 2-decode cluster
+  (DistServe-style KV handoff over the interconnect); ``disagg_p99_ttft_improves`` asserts
+  disaggregation cuts p99 TTFT by removing prefill/decode interference;
 * ``tensor_parallel_llama2_70b`` — the TP acceptance scenario (OOM on one GPU, finite on 4).
 
 The payload always matches ``SCHEMA`` below (validated before writing; the tier-1 suite
 re-validates the committed file), so the perf trajectory stays machine-comparable across PRs.
 
-Run:  PYTHONPATH=src python benchmarks/bench_scheduler.py [--fast]
+Run:  PYTHONPATH=src python benchmarks/bench_scheduler.py [--fast] [--dump-requests CSV]
 
 ``--fast`` shrinks the traces for CI (same sections, same schema, smaller ``num_requests``)
 and writes to ``BENCH_scheduler.fast.json`` so the committed full-mode trajectory is never
-overwritten by a CI or local fast run.
+overwritten by a CI or local fast run.  ``--dump-requests PATH`` additionally writes the
+``trace_simulation`` run's per-request latency decomposition (TTFT, TPOT, queue time,
+preemptions) as CSV for latency-distribution analysis.
 """
 
 import argparse
+import csv
 import json
 import os
 import time
 
-from repro.core import simulate_serving
+from repro.core import simulate_cluster, simulate_serving
 from repro.serving import ServingEngine, SloSpec
+from repro.workloads.traces import LengthDistribution
 
 RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_scheduler.json")
 #: Fast mode writes here instead, so a CI/local --fast run can never overwrite the
@@ -54,6 +62,16 @@ AB_SLO = SloSpec(ttft_s=2.0, tpot_s=0.1)
 #: the swap-vs-recompute trade-off is pronounced (on W4A8 systems re-prefill is so cheap the
 #: two mechanisms nearly tie — the hybrid then correctly sticks to recompute).
 AB_PREEMPTION_SYSTEM = "trt-fp16"
+
+#: Cluster A/B workload: prefill-heavy ShareGPT shape (long prompts, short answers) at a
+#: rate that keeps four replicas busy.  In the co-located baseline every prefill chunk
+#: shares its iteration with resident decode batches (TTFT pays TPOT's bill); the
+#: disaggregated fleet runs prefill on dedicated replicas and pays an explicit per-request
+#: KV handoff over the interconnect instead.
+CLUSTER_AB_PROMPTS = LengthDistribution.lognormal(median=1024.0, sigma=0.9, maximum=4096)
+CLUSTER_AB_OUTPUTS = LengthDistribution.lognormal(median=64.0, sigma=0.8, maximum=512)
+CLUSTER_AB_ARRIVAL_RPS = 24.0
+CLUSTER_AB_TOTAL_REPLICAS = 4  # 4 co-located vs. 2 prefill + 2 decode
 
 #: Documented result schema. Leaf values are the required types (``int`` also satisfies a
 #: ``float`` leaf); nested dicts are required sub-objects; ``dict`` leaves are free-form.
@@ -89,6 +107,11 @@ SCHEMA = {
         "workload": dict,
         "policies": dict,  # policy name -> per-policy metrics
         "sjf_p99_ttft_improves": bool,
+    },
+    "cluster_ab": {
+        "workload": dict,
+        "configs": dict,  # "colocated" / "disaggregated" -> per-config metrics
+        "disagg_p99_ttft_improves": bool,
     },
     "tensor_parallel_llama2_70b": {
         "single_gpu_oom": bool,
@@ -143,7 +166,8 @@ def _simulated_summary(sim) -> dict:
     }
 
 
-def bench_trace_simulation(num_requests: int) -> dict:
+def bench_trace_simulation(num_requests: int):
+    """Returns the payload section plus the simulation (for ``--dump-requests``)."""
     start = time.perf_counter()
     sim = simulate_serving(
         "liquidserve",
@@ -154,7 +178,7 @@ def bench_trace_simulation(num_requests: int) -> dict:
         slo=AB_SLO,
     )
     wall_s = time.perf_counter() - start
-    return {
+    return sim, {
         "workload": {
             "system": sim.system,
             "model": sim.model,
@@ -256,6 +280,93 @@ def bench_scheduling_ab(num_requests: int) -> dict:
     }
 
 
+def _cluster_summary(sim, wall_s: float) -> dict:
+    result, report = sim.result, sim.slo
+    return {
+        "router": sim.router,
+        "replica_roles": ",".join(result.replica_roles),
+        "completed_requests": result.completed_requests,
+        "generated_tokens": result.generated_tokens,
+        "throughput_tokens_per_s": round(result.throughput_tokens_per_s, 1),
+        "p50_ttft_s": round(report.p50_ttft_s, 4),
+        "p99_ttft_s": round(report.p99_ttft_s, 4),
+        "p50_tpot_s": round(report.p50_tpot_s, 5),
+        "p99_tpot_s": round(report.p99_tpot_s, 5),
+        "mean_queue_time_s": round(report.mean_queue_time_s, 5),
+        "slo_attainment": round(report.attainment, 4),
+        "goodput_rps": round(report.goodput_rps, 2),
+        "kv_handoffs": result.kv_handoffs,
+        "kv_handoff_gb": round(result.kv_handoff_bytes / 2**30, 3),
+        "kv_handoff_s": round(result.kv_handoff_s, 4),
+        "wall_time_s": round(wall_s, 3),
+    }
+
+
+def bench_cluster_ab(num_requests: int) -> dict:
+    """Co-located vs. disaggregated prefill/decode at equal total GPU count."""
+    kwargs = dict(
+        num_requests=num_requests,
+        arrival_rate_rps=CLUSTER_AB_ARRIVAL_RPS,
+        seed=0,
+        prompt_lengths=CLUSTER_AB_PROMPTS,
+        output_lengths=CLUSTER_AB_OUTPUTS,
+        slo=AB_SLO,
+    )
+    configs = {}
+    raw_p99_ttft = {}
+    start = time.perf_counter()
+    colocated = simulate_cluster(
+        "liquidserve", "llama2-7b",
+        mode="colocated",
+        num_replicas=CLUSTER_AB_TOTAL_REPLICAS,
+        router="least-tokens",  # the strongest co-located baseline, not a strawman
+        **kwargs,
+    )
+    configs["colocated"] = _cluster_summary(colocated, time.perf_counter() - start)
+    raw_p99_ttft["colocated"] = colocated.slo.p99_ttft_s
+    start = time.perf_counter()
+    disaggregated = simulate_cluster(
+        "liquidserve", "llama2-7b",
+        mode="disaggregated",
+        num_prefill_replicas=CLUSTER_AB_TOTAL_REPLICAS // 2,
+        num_decode_replicas=CLUSTER_AB_TOTAL_REPLICAS // 2,
+        **kwargs,
+    )
+    configs["disaggregated"] = _cluster_summary(disaggregated, time.perf_counter() - start)
+    raw_p99_ttft["disaggregated"] = disaggregated.slo.p99_ttft_s
+    return {
+        "workload": {
+            "system": "liquidserve",
+            "model": "llama2-7b",
+            "device": "H800",
+            "num_requests": num_requests,
+            "arrival": f"poisson-{CLUSTER_AB_ARRIVAL_RPS:g}rps",
+            "lengths": "prefill-heavy-lognormal (prompts ~1024, outputs ~64)",
+            "seed": 0,
+            "total_replicas": CLUSTER_AB_TOTAL_REPLICAS,
+            "slo": {"ttft_s": AB_SLO.ttft_s, "tpot_s": AB_SLO.tpot_s},
+        },
+        "configs": configs,
+        "disagg_p99_ttft_improves":
+            raw_p99_ttft["disaggregated"] < raw_p99_ttft["colocated"],
+    }
+
+
+def dump_requests_csv(sim, path: str) -> None:
+    """Write the per-request latency decomposition of one simulation as CSV."""
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([
+            "request_id", "output_tokens", "ttft_s", "tpot_s", "latency_s",
+            "queue_time_s", "preemptions",
+        ])
+        for m in sim.per_request:
+            writer.writerow([
+                m.request_id, m.output_tokens, f"{m.ttft_s:.6f}", f"{m.tpot_s:.6f}",
+                f"{m.latency_s:.6f}", f"{m.queue_time_s:.6f}", m.preemptions,
+            ])
+
+
 def bench_tensor_parallel() -> dict:
     """Llama2-70B FP16: OOM on one GPU, finite peak throughput on four.
 
@@ -280,19 +391,27 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true",
                         help="shrink traces for CI (same sections and schema)")
+    parser.add_argument("--dump-requests", metavar="CSV",
+                        help="write the trace_simulation per-request metrics to this CSV")
     args = parser.parse_args()
     trace_requests = 120 if args.fast else 500
     ab_requests = 100 if args.fast else 300
+    cluster_requests = 60 if args.fast else 200
 
+    trace_sim, trace_section = bench_trace_simulation(trace_requests)
     payload = {
         "benchmark": "bench_scheduler",
         "mode": "fast" if args.fast else "full",
-        "trace_simulation": bench_trace_simulation(trace_requests),
+        "trace_simulation": trace_section,
         "preemption_ab": bench_preemption_ab(ab_requests),
         "scheduling_ab": bench_scheduling_ab(ab_requests),
+        "cluster_ab": bench_cluster_ab(cluster_requests),
         "tensor_parallel_llama2_70b": bench_tensor_parallel(),
     }
     validate_payload(payload)
+    if args.dump_requests:
+        dump_requests_csv(trace_sim, args.dump_requests)
+        print(f"wrote per-request metrics to {os.path.abspath(args.dump_requests)}")
     path = os.path.abspath(FAST_RESULT_PATH if args.fast else RESULT_PATH)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
@@ -306,6 +425,7 @@ def main() -> None:
         for section, flag in (
             ("preemption_ab", "hybrid_goodput_ge_recompute"),
             ("scheduling_ab", "sjf_p99_ttft_improves"),
+            ("cluster_ab", "disagg_p99_ttft_improves"),
         )
         if not payload[section][flag]
     ]

@@ -7,20 +7,24 @@ the LiquidGEMM kernel and the convenience functions most downstream users want.
 
 from ..kernels.liquidgemm import LiquidGemmKernel
 from .api import (
+    ClusterSimulation,
     GemmResult,
     ServingSimulation,
     compare_kernels,
     quantize_weights,
+    simulate_cluster,
     simulate_serving,
     w4a8_gemm,
 )
 
 __all__ = [
     "LiquidGemmKernel",
+    "ClusterSimulation",
     "GemmResult",
     "ServingSimulation",
     "compare_kernels",
     "quantize_weights",
+    "simulate_cluster",
     "simulate_serving",
     "w4a8_gemm",
 ]

@@ -10,7 +10,10 @@ Most users need four things:
   evaluated under every kernel in the registry;
 * :func:`simulate_serving` — a trace-driven, request-level serving simulation (continuous
   batching with chunked prefill and preemption, optional tensor parallelism) returning both
-  scheduler statistics and an SLO report (p50/p99 TTFT, TPOT, goodput).
+  scheduler statistics and an SLO report (p50/p99 TTFT, TPOT, goodput);
+* :func:`simulate_cluster` — the same trace served by a multi-replica cluster behind a
+  pluggable router: co-located data-parallel replicas, or DistServe-style disaggregated
+  prefill/decode replicas with per-request KV handoffs over the interconnect.
 
 Everything here is a thin composition of the subpackages; power users should use
 :mod:`repro.kernels`, :mod:`repro.serving` and :mod:`repro.costmodel` directly.
@@ -18,8 +21,8 @@ Everything here is a thin composition of the subpackages; power users should use
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,9 +31,11 @@ from ..kernels.base import KernelReport, PreparedWeights
 from ..kernels.liquidgemm import LiquidGemmKernel
 from ..kernels.registry import default_comparison_set, get_kernel
 from ..quant.base import quantization_error
+from ..serving.cluster import ClusterResult, ServingCluster
 from ..serving.engine import ServingEngine
-from ..serving.metrics import SloReport, SloSpec
+from ..serving.metrics import RequestMetrics, SloReport, SloSpec, request_metrics
 from ..serving.scheduler import ContinuousBatchingScheduler, SchedulerStats
+from ..serving.systems import ClusterSpec
 from ..workloads.traces import (
     SHAREGPT_OUTPUTS,
     SHAREGPT_PROMPTS,
@@ -40,7 +45,8 @@ from ..workloads.traces import (
 )
 
 __all__ = ["quantize_weights", "w4a8_gemm", "compare_kernels", "GemmResult",
-           "ServingSimulation", "simulate_serving"]
+           "ServingSimulation", "simulate_serving", "ClusterSimulation",
+           "simulate_cluster"]
 
 
 @dataclass
@@ -96,6 +102,9 @@ class ServingSimulation:
     num_requests: int
     stats: SchedulerStats
     slo: SloReport
+    #: Per-request latency decomposition (TTFT, TPOT, queue time) of every completed
+    #: request — the raw material for latency-distribution analysis and CSV dumps.
+    per_request: List[RequestMetrics] = field(default_factory=list)
 
     @property
     def throughput_tokens_per_s(self) -> float:
@@ -125,6 +134,7 @@ def simulate_serving(
     preemption_policy: str = "recompute",
     kv_budget_bytes: Optional[int] = None,
     host_kv_budget_bytes: Optional[int] = None,
+    overlap_swap_transfers: bool = False,
     num_priority_levels: int = 1,
     slo: Optional[SloSpec] = None,
 ) -> ServingSimulation:
@@ -138,7 +148,8 @@ def simulate_serving(
     and summarizes both throughput and SLO attainment.
 
     ``kv_budget_bytes`` / ``host_kv_budget_bytes`` override the device KV pool and host swap
-    pool for KV-pressure studies; ``num_priority_levels > 1`` samples request priorities into
+    pool for KV-pressure studies; ``overlap_swap_transfers`` hides swap DMAs behind compute
+    (``max`` instead of sum); ``num_priority_levels > 1`` samples request priorities into
     the trace for the 'priority' scheduling policy.
     """
     engine = ServingEngine(system, model, device=device, tp_degree=tp_degree)
@@ -151,6 +162,7 @@ def simulate_serving(
         preemption_policy=preemption_policy,
         kv_budget_bytes=kv_budget_bytes,
         host_kv_budget_bytes=host_kv_budget_bytes,
+        overlap_swap_transfers=overlap_swap_transfers,
     )
     trace = generate_trace(
         num_requests,
@@ -168,6 +180,127 @@ def simulate_serving(
         num_requests=num_requests,
         stats=stats,
         slo=stats.slo_report(slo),
+        per_request=request_metrics(stats.requests),
+    )
+
+
+@dataclass
+class ClusterSimulation:
+    """Outcome of :func:`simulate_cluster`: per-replica stats plus the merged SLO summary."""
+
+    system: str
+    model: str
+    tp_degree: int
+    mode: str
+    router: str
+    num_replicas: int
+    num_requests: int
+    result: ClusterResult
+    slo: SloReport
+    #: Merged per-request latency decomposition across the whole cluster (a migrated
+    #: request's TTFT comes from its prefill replica, its completion from its decode one).
+    per_request: List[RequestMetrics] = field(default_factory=list)
+
+    @property
+    def replica_stats(self) -> List[SchedulerStats]:
+        return self.result.replica_stats
+
+    @property
+    def replica_roles(self) -> List[str]:
+        return self.result.replica_roles
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        return self.result.throughput_tokens_per_s
+
+    @property
+    def goodput_rps(self) -> float:
+        return self.slo.goodput_rps
+
+
+def simulate_cluster(
+    system: str = "liquidserve",
+    model: str = "llama2-7b",
+    *,
+    device: str = "H800",
+    tp_degree: int = 1,
+    mode: str = "colocated",
+    num_replicas: Optional[int] = None,
+    num_prefill_replicas: int = 1,
+    num_decode_replicas: int = 1,
+    router: Optional[str] = None,
+    num_requests: int = 500,
+    arrival_rate_rps: float = 10.0,
+    arrival_cv: float = 1.0,
+    prompt_lengths: Optional[LengthDistribution] = None,
+    output_lengths: Optional[LengthDistribution] = None,
+    seed: int = 0,
+    max_batch_size: Optional[int] = None,
+    max_batched_tokens: Optional[int] = None,
+    prefill_chunk_tokens: int = 256,
+    scheduling_policy: str = "fcfs",
+    preemption_policy: str = "recompute",
+    kv_budget_bytes: Optional[int] = None,
+    host_kv_budget_bytes: Optional[int] = None,
+    overlap_swap_transfers: bool = False,
+    num_priority_levels: int = 1,
+    slo: Optional[SloSpec] = None,
+) -> ClusterSimulation:
+    """Run a trace-driven simulation of a multi-replica serving cluster end to end.
+
+    The same trace generator and per-replica scheduler as :func:`simulate_serving`, lifted
+    to a fleet: ``mode="colocated"`` spreads whole requests over ``num_replicas`` identical
+    replicas (default 2) via ``router`` (default round-robin); ``mode="disaggregated"``
+    serves prompt prefill on ``num_prefill_replicas`` and decode on ``num_decode_replicas``
+    (DistServe-style), migrating each finished prefill's KV blocks over the GPU
+    interconnect (default router: the disaggregation-aware policy) — passing
+    ``num_replicas`` there is an error rather than silently ignored.
+    ``simulate_cluster(num_replicas=1)`` is, by construction, exactly
+    :func:`simulate_serving` — the equivalence the test suite pins.
+    """
+    spec = ClusterSpec(
+        mode=mode,
+        num_replicas=num_replicas,
+        num_prefill_replicas=num_prefill_replicas,
+        num_decode_replicas=num_decode_replicas,
+        router=router,
+    )
+    cluster = ServingCluster(
+        system,
+        model,
+        spec,
+        device=device,
+        tp_degree=tp_degree,
+        max_batch_size=max_batch_size,
+        max_batched_tokens=max_batched_tokens,
+        prefill_chunk_tokens=prefill_chunk_tokens,
+        scheduling_policy=scheduling_policy,
+        preemption_policy=preemption_policy,
+        kv_budget_bytes=kv_budget_bytes,
+        host_kv_budget_bytes=host_kv_budget_bytes,
+        overlap_swap_transfers=overlap_swap_transfers,
+    )
+    trace = generate_trace(
+        num_requests,
+        ArrivalProcess(rate_rps=arrival_rate_rps, cv=arrival_cv),
+        prompt_lengths or SHAREGPT_PROMPTS,
+        output_lengths or SHAREGPT_OUTPUTS,
+        seed=seed,
+        num_priority_levels=num_priority_levels,
+    )
+    result = cluster.run(trace)
+    first = cluster.replicas[0]
+    return ClusterSimulation(
+        system=first.engine.system.name,
+        model=first.engine.model.name,
+        tp_degree=tp_degree,
+        mode=spec.mode,
+        router=cluster.router_name,
+        num_replicas=spec.total_replicas,
+        num_requests=num_requests,
+        result=result,
+        slo=result.slo_report(slo),
+        per_request=request_metrics(result.requests),
     )
 
 

@@ -78,6 +78,8 @@ _ELEMENTWISE_PASSES = 7.0
 _ALLREDUCE_LATENCY_S = 8.0e-6
 #: Fixed setup latency of one KV swap transfer over the host link (DMA launch, pinning).
 _HOST_TRANSFER_LATENCY_S = 15.0e-6
+#: Fixed setup latency of one GPU-to-GPU KV handoff over the interconnect (P2P launch).
+_INTERCONNECT_TRANSFER_LATENCY_S = 10.0e-6
 
 
 @dataclass
@@ -228,6 +230,21 @@ class ServingEngine:
         if num_bytes <= 0:
             return 0.0
         return num_bytes / self.device.spec.host_link_bandwidth + _HOST_TRANSFER_LATENCY_S
+
+    def interconnect_transfer_time(self, num_bytes: float) -> float:
+        """One-way KV transfer between two replicas over the GPU interconnect.
+
+        This is the tax a disaggregated prefill/decode cluster pays per handoff
+        (DistServe-style): the finished prefill's KV blocks move from the prefill replica
+        to the decode replica over the NVLink/PCIe fabric
+        (:attr:`~repro.gpu.specs.GpuSpec.interconnect_bandwidth`).
+        """
+        if num_bytes <= 0:
+            return 0.0
+        return (
+            num_bytes / self.device.spec.interconnect_bandwidth
+            + _INTERCONNECT_TRANSFER_LATENCY_S
+        )
 
     def recompute_time(self, num_tokens: int) -> float:
         """Estimated cost of rebuilding ``num_tokens`` of KV state by re-prefilling.

@@ -19,6 +19,12 @@ __all__ = ["percentile", "RequestMetrics", "SloSpec", "SloReport", "request_metr
            "compute_slo_report"]
 
 
+def _mean(values: Sequence[float]) -> float:
+    """Mean that is 0.0 for an empty population — the one place the zero-completed case
+    is guarded, so every :class:`SloReport` field degrades identically."""
+    return sum(values) / len(values) if values else 0.0
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile (``q`` in [0, 100]) of an unsorted sequence."""
     if not values:
@@ -47,6 +53,9 @@ class RequestMetrics:
     tpot_s: float                 # mean inter-token time after the first (0 if 1 token)
     output_tokens: int
     preemptions: int
+    #: Arrival -> first scheduled (prefill admission).  TTFT minus queue time is pure
+    #: service time, so this is where router- or policy-induced queueing shows up.
+    queue_time_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -77,6 +86,9 @@ class SloReport:
     mean_latency_s: float
     p50_latency_s: float
     p99_latency_s: float
+    #: Mean arrival -> first-scheduled delay (router/admission queueing), 0.0 when the
+    #: population recorded no scheduling timestamps.
+    mean_queue_time_s: float = 0.0
 
     @property
     def attainment(self) -> float:
@@ -97,6 +109,7 @@ def request_metrics(requests: Iterable) -> List[RequestMetrics]:
             continue
         decode_tokens = max(0, r.output_tokens - 1)
         decode_span = r.completion_time_s - r.first_token_time_s
+        first_scheduled = getattr(r, "first_scheduled_time_s", None)
         out.append(RequestMetrics(
             request_id=r.request_id,
             ttft_s=r.first_token_time_s - r.arrival_time_s,
@@ -104,6 +117,9 @@ def request_metrics(requests: Iterable) -> List[RequestMetrics]:
             tpot_s=decode_span / decode_tokens if decode_tokens else 0.0,
             output_tokens=r.output_tokens,
             preemptions=getattr(r, "preemptions", 0),
+            queue_time_s=(
+                first_scheduled - r.arrival_time_s if first_scheduled is not None else 0.0
+            ),
         ))
     return out
 
@@ -123,13 +139,14 @@ def compute_slo_report(requests: Iterable, slo: Optional[SloSpec] = None,
         completed=len(metrics),
         slo_attained=sum(1 for m in metrics if slo.met_by(m)),
         makespan_s=makespan_s,
-        mean_ttft_s=sum(ttfts) / len(ttfts) if ttfts else 0.0,
+        mean_ttft_s=_mean(ttfts),
         p50_ttft_s=percentile(ttfts, 50),
         p99_ttft_s=percentile(ttfts, 99),
-        mean_tpot_s=sum(tpots) / len(tpots) if tpots else 0.0,
+        mean_tpot_s=_mean(tpots),
         p50_tpot_s=percentile(tpots, 50),
         p99_tpot_s=percentile(tpots, 99),
-        mean_latency_s=sum(latencies) / len(latencies) if latencies else 0.0,
+        mean_latency_s=_mean(latencies),
         p50_latency_s=percentile(latencies, 50),
         p99_latency_s=percentile(latencies, 99),
+        mean_queue_time_s=_mean([m.queue_time_s for m in metrics]),
     )

@@ -22,8 +22,17 @@ iterations:
   time; admitted-but-waiting requests sit in a second heap keyed by the pluggable
   :class:`~repro.serving.policies.SchedulingPolicy` (FCFS, priority, SJF, max-min fairness).
 
-Per-request timestamps (arrival, first token, completion, preemptions) are recorded so SLO
-metrics (p50/p99 TTFT, TPOT, goodput — :mod:`repro.serving.metrics`) can be computed on top.
+The scheduler is *steppable*: :meth:`ContinuousBatchingScheduler.begin` /
+:meth:`~ContinuousBatchingScheduler.submit` / :meth:`~ContinuousBatchingScheduler.step`
+expose one replica's event loop to an outer driver, which is how
+:class:`~repro.serving.cluster.ServingCluster` advances N replicas on a shared virtual
+clock (and how disaggregated prefill/decode hands sequences between replicas via
+:meth:`~ContinuousBatchingScheduler.submit_resumed`).  :meth:`run` is the single-replica
+convenience loop built on exactly that machinery.
+
+Per-request timestamps (arrival, first scheduled, first token, completion, preemptions) are
+recorded so SLO metrics (p50/p99 TTFT, TPOT, goodput — :mod:`repro.serving.metrics`) can be
+computed on top.
 """
 
 from __future__ import annotations
@@ -58,6 +67,7 @@ class Request:
     #: Scheduling priority (higher = more important); only the 'priority' policy reads it.
     priority: int = 0
     # Filled by the scheduler:
+    first_scheduled_time_s: Optional[float] = None
     first_token_time_s: Optional[float] = None
     completion_time_s: Optional[float] = None
     generated: int = 0
@@ -65,6 +75,10 @@ class Request:
     # Prefill progress of the current pass (recompute restarts it over prompt + emitted):
     prefilled: int = 0
     prefill_target: int = 0
+    #: Non-zero on a sequence migrated between replicas (disaggregated prefill/decode): the
+    #: KV tokens that arrive by interconnect DMA instead of local prefill.  The transfer is
+    #: charged by the cluster; admission here only needs the blocks.
+    imported_kv_tokens: int = 0
 
     @property
     def finished(self) -> bool:
@@ -74,6 +88,27 @@ class Request:
     def decoding(self) -> bool:
         """True once the current prefill pass is complete (the request emits decode tokens)."""
         return bool(self.prefill_target) and self.prefilled >= self.prefill_target
+
+    def remaining_tokens(self) -> int:
+        """Tokens of work left (prefill positions still to cache + tokens still to emit)."""
+        target = self.prefill_target or self.prompt_tokens
+        return max(0, target - self.prefilled) + max(0, self.output_tokens - self.generated)
+
+    def reset_scheduler_state(self) -> None:
+        """Clear every scheduler-owned field, making the request safe to (re-)submit.
+
+        The single authority on what the scheduler owns: both the scheduler's
+        :meth:`~ContinuousBatchingScheduler.submit` and the cluster's merge-target reset
+        call this, so a new field can never be reset in one place and leak in the other.
+        """
+        self.first_scheduled_time_s = None
+        self.first_token_time_s = None
+        self.completion_time_s = None
+        self.generated = 0
+        self.preemptions = 0
+        self.prefilled = 0
+        self.prefill_target = 0
+        self.imported_kv_tokens = 0
 
 
 @dataclass
@@ -120,7 +155,18 @@ class ContinuousBatchingScheduler:
     ``scheduling_policy`` orders admission (and victim selection); ``preemption_policy``
     chooses swap vs. recompute per victim.  ``kv_budget_bytes`` / ``host_kv_budget_bytes``
     override the engine-derived device pool and the system profile's host swap pool — the
-    knobs for KV-pressure studies.
+    knobs for KV-pressure studies.  ``overlap_swap_transfers`` overlaps KV swap traffic with
+    compute: an iteration is charged ``max(step_compute, pending_transfers)`` instead of
+    their sum (the serialized model), matching runtimes that issue swap DMAs on a side
+    stream.
+
+    Two driving modes share one core:
+
+    * :meth:`run` — the classic batch API: feed a whole trace, get :class:`SchedulerStats`.
+    * :meth:`begin` / :meth:`submit` / :meth:`step` / :meth:`stats` — the steppable API a
+      cluster driver uses to interleave this replica with others on a shared virtual clock.
+      :meth:`submit_resumed` admits a sequence migrated from another replica (its KV arrives
+      by interconnect transfer, its timestamps are preserved).
     """
 
     def __init__(
@@ -133,6 +179,7 @@ class ContinuousBatchingScheduler:
         preemption_policy: Union[str, PreemptionPolicy] = "recompute",
         kv_budget_bytes: Optional[int] = None,
         host_kv_budget_bytes: Optional[int] = None,
+        overlap_swap_transfers: bool = False,
     ):
         self.engine = engine
         if not engine.supported:
@@ -166,6 +213,8 @@ class ContinuousBatchingScheduler:
         self.prefill_chunk_tokens = min(prefill_chunk_tokens, self.max_batched_tokens)
         self.scheduling_policy = get_scheduling_policy(scheduling_policy)
         self.preemption_policy = get_preemption_policy(preemption_policy)
+        self.overlap_swap_transfers = overlap_swap_transfers
+        self.begin()
 
     # ------------------------------------------------------------------ internals
     def _check_servable(self, request: Request) -> None:
@@ -194,13 +243,403 @@ class ContinuousBatchingScheduler:
             return victim.prompt_tokens + max(0, victim.generated - 1)
         return victim.prefilled
 
-    def _pick_victim(self, prefilling: List[Request], running: List[Request],
-                     exclude: Optional[Request] = None) -> Optional[Request]:
+    def _pick_victim(self, exclude: Optional[Request] = None) -> Optional[Request]:
         """Lowest-priority resident request per the scheduling policy (FCFS: latest arrival)."""
-        candidates = [r for r in prefilling + running if r is not exclude]
+        candidates = [r for r in self._prefilling + self._running if r is not exclude]
         if not candidates:
             return None
         return self.scheduling_policy.select_victim(candidates)
+
+    # ------------------------------------------------------------------ steppable session
+    def begin(self, clock: float = 0.0) -> None:
+        """Start a fresh steppable session at virtual time ``clock``.
+
+        Resets every piece of per-run scheduler state (queues, counters, peaks).  The KV
+        pool itself is kept — a completed session always drains it, and tests are free to
+        replace :attr:`kv_cache` before the first :meth:`submit`.
+        """
+        self._waiting: List[Tuple[Tuple, int, Request]] = []
+        self._imported: List[Tuple[Tuple, int, Request]] = []
+        self._push_counter = 0
+        self._prefilling: List[Request] = []
+        self._running: List[Request] = []
+        self._swapped: List[Request] = []
+        self._completed: List[Request] = []
+        self._newly_completed: List[Request] = []
+        self._clock = clock
+        self._pending_transfer_s = 0.0
+        self._generated_tokens = 0
+        self._peak_batch = 0
+        self._peak_util = 0.0
+        self._peak_host_util = 0.0
+        self._preemption_count = 0
+        self._swap_count = 0
+        self._recompute_count = 0
+        self._swap_in_count = 0
+        self._transfer_s_total = 0.0
+        self._num_iterations = 0
+        self._chunk_count = 0
+
+    @property
+    def clock(self) -> float:
+        """The replica's local virtual time (end of its last iteration)."""
+        return self._clock
+
+    @property
+    def has_work(self) -> bool:
+        """True while any request is queued, resident, swapped out, or awaiting KV import."""
+        return bool(
+            self._waiting or self._imported or self._prefilling
+            or self._running or self._swapped
+        )
+
+    # ---- load metrics read by router policies (cheap, side-effect free).
+    @property
+    def outstanding_tokens(self) -> int:
+        """Total tokens of work queued or in flight on this replica."""
+        queues = (
+            [r for _, _, r in self._waiting],
+            [r for _, _, r in self._imported],
+            self._prefilling,
+            self._running,
+            self._swapped,
+        )
+        return sum(r.remaining_tokens() for queue in queues for r in queue)
+
+    @property
+    def kv_load(self) -> float:
+        """Device KV-pool utilization in [0, 1]."""
+        return self.kv_cache.utilization()
+
+    @property
+    def num_resident(self) -> int:
+        return len(self._prefilling) + len(self._running)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiting) + len(self._imported)
+
+    def submit(self, request: Request, now: Optional[float] = None) -> None:
+        """Enqueue a fresh request, resetting any scheduler-owned state it carries.
+
+        ``now`` is the submission time: an idle replica's clock jumps forward to it (a busy
+        replica's clock is already past it — the request waits for the next iteration).
+        """
+        self._check_servable(request)
+        request.reset_scheduler_state()
+        if now is not None:
+            self._clock = max(self._clock, now)
+        self._push_waiting(request)
+
+    def submit_resumed(self, request: Request, now: Optional[float] = None) -> None:
+        """Enqueue a sequence migrated from another replica, preserving its timestamps.
+
+        A request with ``imported_kv_tokens > 0`` resumes decoding as soon as the device
+        pool can hold its transferred KV blocks (the interconnect transfer itself is the
+        caller's — the cluster's — to charge); anything else re-enters the normal
+        policy-keyed admission path and re-prefills locally.
+        """
+        self._check_servable(request)
+        if now is not None:
+            self._clock = max(self._clock, now)
+        if request.imported_kv_tokens > 0:
+            heapq.heappush(
+                self._imported,
+                (self.scheduling_policy.key(request), self._push_counter, request),
+            )
+            self._push_counter += 1
+        else:
+            self._push_waiting(request)
+
+    def drain_completed(self) -> List[Request]:
+        """Pop the requests that finished since the last call (cluster handoff hook)."""
+        done, self._newly_completed = self._newly_completed, []
+        return done
+
+    def stats(self) -> SchedulerStats:
+        """Aggregate statistics of the session so far (a pure snapshot — safe across
+        re-runs, and polling it mid-session never perturbs the simulation)."""
+        # Swap traffic that has not yet found an iteration to hide behind (overlap mode)
+        # counts toward the makespan, but stays pending: the next iteration may still
+        # absorb it under max(compute, transfers).
+        makespan = self._clock + self._pending_transfer_s
+        snapshot = [copy.copy(r) for r in self._completed]
+        summary = compute_slo_report(snapshot, makespan_s=makespan)
+        return SchedulerStats(
+            simulated_time_s=makespan,
+            completed_requests=len(snapshot),
+            generated_tokens=self._generated_tokens,
+            mean_ttft_s=summary.mean_ttft_s,
+            mean_latency_s=summary.mean_latency_s,
+            peak_batch_size=self._peak_batch,
+            peak_kv_utilization=self._peak_util,
+            p50_ttft_s=summary.p50_ttft_s,
+            p99_ttft_s=summary.p99_ttft_s,
+            mean_tpot_s=summary.mean_tpot_s,
+            p99_tpot_s=summary.p99_tpot_s,
+            preemptions=self._preemption_count,
+            num_iterations=self._num_iterations,
+            prefill_chunks=self._chunk_count,
+            swap_preemptions=self._swap_count,
+            recompute_preemptions=self._recompute_count,
+            swap_ins=self._swap_in_count,
+            kv_transfer_s=self._transfer_s_total,
+            peak_host_kv_utilization=self._peak_host_util,
+            requests=snapshot,
+        )
+
+    # ------------------------------------------------------------------ step internals
+    def _push_waiting(self, request: Request) -> None:
+        heapq.heappush(
+            self._waiting,
+            (self.scheduling_policy.key(request), self._push_counter, request),
+        )
+        self._push_counter += 1
+
+    def _charge_transfer(self, transfer_s: float) -> None:
+        """Account one swap transfer: serialize with the clock, or park it for overlap."""
+        if self.overlap_swap_transfers:
+            self._pending_transfer_s += transfer_s
+        else:
+            self._clock += transfer_s
+        self._transfer_s_total += transfer_s
+
+    def _do_swap_in(self, request: Request) -> None:
+        """Restore a swapped sequence to the device pool, charging the transfer."""
+        transfer = self.engine.kv_transfer_time(self.kv_cache.swap_in(request.request_id))
+        self._charge_transfer(transfer)
+        self._swap_in_count += 1
+        self._swapped.remove(request)
+        if request.decoding:
+            self._running.append(request)
+        else:
+            self._prefilling.append(request)
+
+    def _preempt_one(self, exclude: Optional[Request] = None) -> bool:
+        victim = self._pick_victim(exclude)
+        if victim is None:
+            return False
+        if victim in self._prefilling:
+            self._prefilling.remove(victim)
+        else:
+            self._running.remove(victim)
+        victim.preemptions += 1
+        self._preemption_count += 1
+        # Drop any decode slot reserved this iteration (its KV is never written)
+        # *before* the policy decides, so swap feasibility and the cost comparison see
+        # the exact state a swap would transfer.
+        self.kv_cache.truncate_sequence(victim.request_id, self._resume_tokens(victim))
+        mode = self.preemption_policy.decide(victim, self.engine, self.kv_cache)
+        # The no-OOM-escape contract is the scheduler's, not the policy's: a policy
+        # (built-in or user-supplied) answering "swap" without host room degrades to
+        # recompute instead of letting swap_out raise out of run().
+        if mode == PreemptionPolicy.SWAP and not self.kv_cache.can_swap_out(
+            victim.request_id
+        ):
+            mode = PreemptionPolicy.RECOMPUTE
+        if mode == PreemptionPolicy.SWAP:
+            # Park the blocks in the host pool and charge the PCIe transfer.
+            transfer = self.engine.kv_transfer_time(
+                self.kv_cache.swap_out(victim.request_id)
+            )
+            self._charge_transfer(transfer)
+            self._swap_count += 1
+            self._swapped.append(victim)
+            self._peak_host_util = max(
+                self._peak_host_util, self.kv_cache.host_utilization()
+            )
+        else:
+            # Recompute: free the blocks and re-prefill the prompt plus every already-
+            # emitted token except the newest (whose KV was never written); emitted
+            # tokens themselves are kept — recompute only rebuilds KV.
+            self.kv_cache.free_sequence(victim.request_id)
+            self._recompute_count += 1
+            victim.prefilled = 0
+            victim.prefill_target = victim.prompt_tokens + max(0, victim.generated - 1)
+            self._push_waiting(victim)
+        return True
+
+    def _finish(self, request: Request) -> None:
+        request.completion_time_s = self._clock
+        self.kv_cache.free_sequence(request.request_id)
+        self._completed.append(request)
+        self._newly_completed.append(request)
+
+    def step(self) -> None:
+        """Execute one scheduler iteration, advancing the local clock.
+
+        One call performs at most one mixed forward pass; calls that only shuffle KV state
+        (preempting a stuck resident, swapping a sequence back in) are allowed to return
+        without a pass — :attr:`has_work` tells the driver whether to keep stepping.
+        """
+        if not self.has_work:
+            raise RuntimeError("step() called on an idle scheduler")
+
+        # ---- land migrated sequences whose KV blocks fit (their transfer was already
+        # charged by the cluster; the DMA costs no iteration compute).
+        while self._imported and self.num_resident < self.max_batch_size:
+            request = self._imported[0][2]
+            needed = self.kv_cache.config.blocks_for_tokens(request.imported_kv_tokens)
+            if needed > self.kv_cache.num_free_blocks:
+                break  # wait for decode churn / completions to free device blocks
+            heapq.heappop(self._imported)
+            self.kv_cache.add_sequence(request.request_id, request.imported_kv_tokens)
+            request.prefilled = request.prefill_target = request.imported_kv_tokens
+            self._running.append(request)
+
+        # ---- swap sequences back in while the device pool has headroom: one spare
+        # block per running sequence for this iteration's decode slot plus every
+        # blocks a resident prefill needs for its next chunk.  Reserving the prefill
+        # chunks is what prevents livelock: a swap-in must never reclaim the blocks a
+        # no-progress eviction just freed for a blocked prefill.
+        if self._swapped:
+            def next_chunk_blocks(r: Request) -> int:
+                take = min(r.prefill_target - r.prefilled, self.prefill_chunk_tokens)
+                if take <= 0:
+                    return 0
+                return self.kv_cache.blocks_needed_to_extend(r.request_id, take)
+
+            # Computed once, then updated incrementally as swap-ins land (the only
+            # thing that changes the resident set inside this pass).
+            headroom = len(self._running) + sum(
+                next_chunk_blocks(r) for r in self._prefilling
+            )
+            for request in sorted(self._swapped, key=self.scheduling_policy.key):
+                if self.num_resident >= self.max_batch_size:
+                    break
+                # A decoding sequence also needs its own slot block this iteration.
+                needed = self.kv_cache.swapped_sequence(request.request_id).num_blocks
+                if request.decoding:
+                    needed += 1
+                if needed + headroom > self.kv_cache.num_free_blocks:
+                    continue
+                self._do_swap_in(request)
+                headroom += 1 if request.decoding else next_chunk_blocks(request)
+
+        # ---- reserve one decode slot per running sequence, preempting on exhaustion.
+        preemptions_before_iteration = self._preemption_count
+        reserved_context: Dict[int, int] = {}
+        for request in list(self._running):
+            if request not in self._running:
+                continue  # evicted while making room for an earlier sequence
+            while True:
+                context = self.kv_cache.sequence(request.request_id).num_tokens
+                try:
+                    self.kv_cache.append_token(request.request_id)
+                    reserved_context[request.request_id] = context
+                    break
+                except KvCacheOutOfMemory:
+                    if not self._preempt_one(exclude=request):  # pragma: no cover - guarded
+                        raise RuntimeError(
+                            "KV pool too small for a single request despite admission guard"
+                        )
+        # Victims evicted after reserving their slot must not be charged (or decoded).
+        contexts = [reserved_context[r.request_id] for r in self._running]
+        decode_batch = len(contexts)
+
+        # ---- plan chunked prefill under the iteration token budget.
+        budget = max(0, self.max_batched_tokens - decode_batch)
+        chunks: List[Tuple[Request, PrefillChunk]] = []
+        for request in list(self._prefilling):
+            if budget <= 0:
+                break
+            remaining = request.prefill_target - request.prefilled
+            take = min(remaining, self.prefill_chunk_tokens, budget)
+            if take <= 0:
+                continue
+            try:
+                self.kv_cache.extend_sequence(request.request_id, take)
+            except KvCacheOutOfMemory:
+                continue  # resume this prefill once decode churn frees blocks
+            is_last = request.prefilled + take >= request.prefill_target
+            produces = is_last and request.first_token_time_s is None
+            chunks.append((request, PrefillChunk(take, request.prefilled, produces)))
+            budget -= take
+
+        # ---- admit new requests (skip while this iteration already preempted, so a
+        # just-evicted victim cannot immediately reclaim the freed blocks and thrash).
+        if self._preemption_count == preemptions_before_iteration:
+            while (
+                self._waiting
+                and budget > 0
+                and self.num_resident < self.max_batch_size
+            ):
+                request = self._waiting[0][2]
+                if request.prefill_target <= 0:
+                    request.prefill_target = request.prompt_tokens
+                take = min(request.prefill_target, self.prefill_chunk_tokens, budget)
+                if not self.kv_cache.can_admit(take):
+                    break
+                heapq.heappop(self._waiting)
+                if request.first_scheduled_time_s is None:
+                    request.first_scheduled_time_s = self._clock
+                self.kv_cache.add_sequence(request.request_id, 0)
+                self.kv_cache.extend_sequence(request.request_id, take)
+                self._prefilling.append(request)
+                is_last = take >= request.prefill_target
+                produces = is_last and request.first_token_time_s is None
+                chunks.append((request, PrefillChunk(take, 0, produces)))
+                budget -= take
+
+        # ---- sample KV pressure at its within-iteration peak: after slot reservation,
+        # prefill extension and admission, before decode bookkeeping frees blocks.
+        self._peak_util = max(self._peak_util, self.kv_cache.utilization())
+        self._peak_host_util = max(self._peak_host_util, self.kv_cache.host_utilization())
+
+        if decode_batch == 0 and not chunks:
+            # Every resident prefill is blocked on KV with nothing decoding: evict the
+            # lowest-priority resident so the others can make progress.
+            if self._prefilling or self._running:
+                if self._preempt_one():
+                    return
+            if self._swapped:
+                # Nothing is resident, so the device pool is fully free and any swapped
+                # sequence fits (each passed the admission guard): resume the one the
+                # scheduling policy ranks first, preserving its service order.
+                self._do_swap_in(min(self._swapped, key=self.scheduling_policy.key))
+                return
+            if self._imported:
+                # Imported sequences blocked on device blocks with nothing resident can
+                # only mean the pool momentarily holds nothing — retry next step.
+                return  # pragma: no cover - imports land as soon as blocks free up
+            raise RuntimeError("scheduler made no progress")  # pragma: no cover
+
+        # ---- one mixed iteration: ragged decode + prefill chunks in one forward pass.
+        compute = self.engine.mixed_step_time(contexts, [c for _, c in chunks])
+        # Overlap mode hides swap DMAs behind compute: the iteration takes whichever is
+        # longer, never their sum (the serialized model).
+        self._clock += max(compute, self._pending_transfer_s)
+        self._pending_transfer_s = 0.0
+        self._num_iterations += 1
+        self._chunk_count += len(chunks)
+
+        # ---- decode bookkeeping: every running sequence emitted one token.
+        still_running: List[Request] = []
+        for request in self._running:
+            request.generated += 1
+            self._generated_tokens += 1
+            if request.finished:
+                self._finish(request)
+            else:
+                still_running.append(request)
+        self._running = still_running
+
+        # ---- prefill bookkeeping: advance chunks; completed prefills start decoding.
+        for request, chunk in chunks:
+            request.prefilled += chunk.tokens
+            if request.prefilled < request.prefill_target:
+                continue
+            self._prefilling.remove(request)
+            if chunk.produces_token:
+                request.first_token_time_s = self._clock
+                request.generated += 1
+                self._generated_tokens += 1
+            if request.finished:
+                self._finish(request)
+            else:
+                self._running.append(request)
+
+        self._peak_batch = max(self._peak_batch, decode_batch + len(chunks))
 
     # ------------------------------------------------------------------ simulation
     def run(self, requests: Sequence[Request]) -> SchedulerStats:
@@ -215,283 +654,20 @@ class ContinuousBatchingScheduler:
         """
         for request in requests:
             self._check_servable(request)
-            request.first_token_time_s = None
-            request.completion_time_s = None
-            request.generated = 0
-            request.preemptions = 0
-            request.prefilled = 0
-            request.prefill_target = 0
 
+        self.begin()
         arrivals: List[Tuple[float, int, Request]] = [
             (r.arrival_time_s, r.request_id, r) for r in requests
         ]
         heapq.heapify(arrivals)
-        # Admission heap keyed by the scheduling policy (key evaluated at push time);
-        # a monotone counter breaks ties deterministically.
-        waiting: List[Tuple[Tuple, int, Request]] = []
-        push_counter = 0
-        prefilling: List[Request] = []
-        running: List[Request] = []
-        swapped: List[Request] = []
-        completed: List[Request] = []
 
-        clock = 0.0
-        generated_tokens = 0
-        peak_batch = 0
-        peak_util = 0.0
-        peak_host_util = 0.0
-        preemption_count = 0
-        swap_count = 0
-        recompute_count = 0
-        swap_in_count = 0
-        transfer_s_total = 0.0
-        num_iterations = 0
-        chunk_count = 0
-
-        def push_waiting(request: Request) -> None:
-            nonlocal push_counter
-            heapq.heappush(
-                waiting, (self.scheduling_policy.key(request), push_counter, request)
-            )
-            push_counter += 1
-
-        def do_swap_in(request: Request) -> None:
-            """Restore a swapped sequence to the device pool, charging the transfer."""
-            nonlocal clock, transfer_s_total, swap_in_count
-            transfer = self.engine.kv_transfer_time(
-                self.kv_cache.swap_in(request.request_id)
-            )
-            clock += transfer
-            transfer_s_total += transfer
-            swap_in_count += 1
-            swapped.remove(request)
-            if request.decoding:
-                running.append(request)
-            else:
-                prefilling.append(request)
-
-        def preempt_one(exclude: Optional[Request] = None) -> bool:
-            nonlocal preemption_count, swap_count, recompute_count
-            nonlocal clock, transfer_s_total, peak_host_util
-            victim = self._pick_victim(prefilling, running, exclude)
-            if victim is None:
-                return False
-            if victim in prefilling:
-                prefilling.remove(victim)
-            else:
-                running.remove(victim)
-            victim.preemptions += 1
-            preemption_count += 1
-            # Drop any decode slot reserved this iteration (its KV is never written)
-            # *before* the policy decides, so swap feasibility and the cost comparison see
-            # the exact state a swap would transfer.
-            self.kv_cache.truncate_sequence(victim.request_id, self._resume_tokens(victim))
-            mode = self.preemption_policy.decide(victim, self.engine, self.kv_cache)
-            # The no-OOM-escape contract is the scheduler's, not the policy's: a policy
-            # (built-in or user-supplied) answering "swap" without host room degrades to
-            # recompute instead of letting swap_out raise out of run().
-            if mode == PreemptionPolicy.SWAP and not self.kv_cache.can_swap_out(
-                victim.request_id
-            ):
-                mode = PreemptionPolicy.RECOMPUTE
-            if mode == PreemptionPolicy.SWAP:
-                # Park the blocks in the host pool and charge the PCIe transfer.
-                transfer = self.engine.kv_transfer_time(
-                    self.kv_cache.swap_out(victim.request_id)
-                )
-                clock += transfer
-                transfer_s_total += transfer
-                swap_count += 1
-                swapped.append(victim)
-                peak_host_util = max(peak_host_util, self.kv_cache.host_utilization())
-            else:
-                # Recompute: free the blocks and re-prefill the prompt plus every already-
-                # emitted token except the newest (whose KV was never written); emitted
-                # tokens themselves are kept — recompute only rebuilds KV.
-                self.kv_cache.free_sequence(victim.request_id)
-                recompute_count += 1
-                victim.prefilled = 0
-                victim.prefill_target = victim.prompt_tokens + max(0, victim.generated - 1)
-                push_waiting(victim)
-            return True
-
-        while arrivals or waiting or prefilling or running or swapped:
+        while arrivals or self.has_work:
             # ---- admit arrived requests into the policy-keyed waiting heap.
-            while arrivals and arrivals[0][0] <= clock:
-                push_waiting(heapq.heappop(arrivals)[2])
-            if not (waiting or prefilling or running or swapped):
-                clock = arrivals[0][0]
+            while arrivals and arrivals[0][0] <= self._clock:
+                self.submit(heapq.heappop(arrivals)[2])
+            if not self.has_work:
+                self._clock = arrivals[0][0]
                 continue
+            self.step()
 
-            # ---- swap sequences back in while the device pool has headroom: one spare
-            # block per running sequence for this iteration's decode slot plus every
-            # blocks a resident prefill needs for its next chunk.  Reserving the prefill
-            # chunks is what prevents livelock: a swap-in must never reclaim the blocks a
-            # no-progress eviction just freed for a blocked prefill.
-            if swapped:
-                def next_chunk_blocks(r: Request) -> int:
-                    take = min(r.prefill_target - r.prefilled, self.prefill_chunk_tokens)
-                    if take <= 0:
-                        return 0
-                    return self.kv_cache.blocks_needed_to_extend(r.request_id, take)
-
-                # Computed once, then updated incrementally as swap-ins land (the only
-                # thing that changes the resident set inside this pass).
-                headroom = len(running) + sum(next_chunk_blocks(r) for r in prefilling)
-                for request in sorted(swapped, key=self.scheduling_policy.key):
-                    if len(running) + len(prefilling) >= self.max_batch_size:
-                        break
-                    # A decoding sequence also needs its own slot block this iteration.
-                    needed = self.kv_cache.swapped_sequence(request.request_id).num_blocks
-                    if request.decoding:
-                        needed += 1
-                    if needed + headroom > self.kv_cache.num_free_blocks:
-                        continue
-                    do_swap_in(request)
-                    headroom += 1 if request.decoding else next_chunk_blocks(request)
-
-            # ---- reserve one decode slot per running sequence, preempting on exhaustion.
-            preemptions_before_iteration = preemption_count
-            reserved_context: Dict[int, int] = {}
-            for request in list(running):
-                if request not in running:
-                    continue  # evicted while making room for an earlier sequence
-                while True:
-                    context = self.kv_cache.sequence(request.request_id).num_tokens
-                    try:
-                        self.kv_cache.append_token(request.request_id)
-                        reserved_context[request.request_id] = context
-                        break
-                    except KvCacheOutOfMemory:
-                        if not preempt_one(exclude=request):  # pragma: no cover - guarded
-                            raise RuntimeError(
-                                "KV pool too small for a single request despite admission guard"
-                            )
-            # Victims evicted after reserving their slot must not be charged (or decoded).
-            contexts = [reserved_context[r.request_id] for r in running]
-            decode_batch = len(contexts)
-
-            # ---- plan chunked prefill under the iteration token budget.
-            budget = max(0, self.max_batched_tokens - decode_batch)
-            chunks: List[Tuple[Request, PrefillChunk]] = []
-            for request in list(prefilling):
-                if budget <= 0:
-                    break
-                remaining = request.prefill_target - request.prefilled
-                take = min(remaining, self.prefill_chunk_tokens, budget)
-                if take <= 0:
-                    continue
-                try:
-                    self.kv_cache.extend_sequence(request.request_id, take)
-                except KvCacheOutOfMemory:
-                    continue  # resume this prefill once decode churn frees blocks
-                is_last = request.prefilled + take >= request.prefill_target
-                produces = is_last and request.first_token_time_s is None
-                chunks.append((request, PrefillChunk(take, request.prefilled, produces)))
-                budget -= take
-
-            # ---- admit new requests (skip while this iteration already preempted, so a
-            # just-evicted victim cannot immediately reclaim the freed blocks and thrash).
-            if preemption_count == preemptions_before_iteration:
-                while (
-                    waiting
-                    and budget > 0
-                    and len(running) + len(prefilling) < self.max_batch_size
-                ):
-                    request = waiting[0][2]
-                    if request.prefill_target <= 0:
-                        request.prefill_target = request.prompt_tokens
-                    take = min(request.prefill_target, self.prefill_chunk_tokens, budget)
-                    if not self.kv_cache.can_admit(take):
-                        break
-                    heapq.heappop(waiting)
-                    self.kv_cache.add_sequence(request.request_id, 0)
-                    self.kv_cache.extend_sequence(request.request_id, take)
-                    prefilling.append(request)
-                    is_last = take >= request.prefill_target
-                    produces = is_last and request.first_token_time_s is None
-                    chunks.append((request, PrefillChunk(take, 0, produces)))
-                    budget -= take
-
-            # ---- sample KV pressure at its within-iteration peak: after slot reservation,
-            # prefill extension and admission, before decode bookkeeping frees blocks.
-            peak_util = max(peak_util, self.kv_cache.utilization())
-            peak_host_util = max(peak_host_util, self.kv_cache.host_utilization())
-
-            if decode_batch == 0 and not chunks:
-                # Every resident prefill is blocked on KV with nothing decoding: evict the
-                # lowest-priority resident so the others can make progress.
-                if prefilling or running:
-                    if preempt_one():
-                        continue
-                if swapped:
-                    # Nothing is resident, so the device pool is fully free and any swapped
-                    # sequence fits (each passed the admission guard): resume the one the
-                    # scheduling policy ranks first, preserving its service order.
-                    do_swap_in(min(swapped, key=self.scheduling_policy.key))
-                    continue
-                raise RuntimeError("scheduler made no progress")  # pragma: no cover
-
-            # ---- one mixed iteration: ragged decode + prefill chunks in one forward pass.
-            clock += self.engine.mixed_step_time(contexts, [c for _, c in chunks])
-            num_iterations += 1
-            chunk_count += len(chunks)
-
-            # ---- decode bookkeeping: every running sequence emitted one token.
-            still_running: List[Request] = []
-            for request in running:
-                request.generated += 1
-                generated_tokens += 1
-                if request.finished:
-                    request.completion_time_s = clock
-                    self.kv_cache.free_sequence(request.request_id)
-                    completed.append(request)
-                else:
-                    still_running.append(request)
-            running = still_running
-
-            # ---- prefill bookkeeping: advance chunks; completed prefills start decoding.
-            for request, chunk in chunks:
-                request.prefilled += chunk.tokens
-                if request.prefilled < request.prefill_target:
-                    continue
-                prefilling.remove(request)
-                if chunk.produces_token:
-                    request.first_token_time_s = clock
-                    request.generated += 1
-                    generated_tokens += 1
-                if request.finished:
-                    request.completion_time_s = clock
-                    self.kv_cache.free_sequence(request.request_id)
-                    completed.append(request)
-                else:
-                    running.append(request)
-
-            peak_batch = max(peak_batch, decode_batch + len(chunks))
-
-        # Snapshot the requests: run() resets/rewrites the caller's objects on a re-run, and
-        # the stats (and their slo_report()) must keep describing *this* run afterwards.
-        snapshot = [copy.copy(r) for r in completed]
-        summary = compute_slo_report(snapshot, makespan_s=clock)
-        return SchedulerStats(
-            simulated_time_s=clock,
-            completed_requests=len(snapshot),
-            generated_tokens=generated_tokens,
-            mean_ttft_s=summary.mean_ttft_s,
-            mean_latency_s=summary.mean_latency_s,
-            peak_batch_size=peak_batch,
-            peak_kv_utilization=peak_util,
-            p50_ttft_s=summary.p50_ttft_s,
-            p99_ttft_s=summary.p99_ttft_s,
-            mean_tpot_s=summary.mean_tpot_s,
-            p99_tpot_s=summary.p99_tpot_s,
-            preemptions=preemption_count,
-            num_iterations=num_iterations,
-            prefill_chunks=chunk_count,
-            swap_preemptions=swap_count,
-            recompute_preemptions=recompute_count,
-            swap_ins=swap_in_count,
-            kv_transfer_s=transfer_s_total,
-            peak_host_kv_utilization=peak_host_util,
-            requests=snapshot,
-        )
+        return self.stats()

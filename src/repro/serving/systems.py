@@ -20,9 +20,11 @@ batch sizes — nothing is fitted per experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-__all__ = ["SystemProfile", "SYSTEMS", "get_system", "list_systems", "TABLE1_SYSTEMS"]
+__all__ = ["SystemProfile", "ClusterSpec", "SYSTEMS", "get_system", "list_systems",
+           "TABLE1_SYSTEMS", "REPLICA_ROLE_MIXED", "REPLICA_ROLE_PREFILL",
+           "REPLICA_ROLE_DECODE"]
 
 
 @dataclass(frozen=True)
@@ -57,6 +59,75 @@ class SystemProfile:
             raise ValueError("max_batched_tokens must be positive")
         if self.host_kv_swap_bytes < 0:
             raise ValueError("host_kv_swap_bytes must be non-negative")
+
+
+#: Replica roles a cluster topology can assign (see :class:`ClusterSpec`).
+REPLICA_ROLE_MIXED = "mixed"        # co-located: prefill and decode on the same replica
+REPLICA_ROLE_PREFILL = "prefill"    # disaggregated: runs prompt prefill + first token only
+REPLICA_ROLE_DECODE = "decode"      # disaggregated: decodes sequences migrated to it
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Topology of a multi-replica serving cluster (one GPU/TP-group per replica).
+
+    ``colocated`` mode runs ``num_replicas`` identical replicas behind the router — the
+    classic data-parallel baseline.  ``disaggregated`` mode splits the fleet DistServe-style
+    into ``num_prefill_replicas`` compute-bound prefill replicas and
+    ``num_decode_replicas`` latency-bound decode replicas; finished prefills migrate their
+    KV blocks over the interconnect before decode admission.  ``router`` selects the
+    :mod:`~repro.serving.router` policy (``None`` picks the mode's default: round-robin for
+    co-located, the disaggregation-aware policy for disaggregated).
+    """
+
+    mode: str = "colocated"              # "colocated" | "disaggregated"
+    num_replicas: Optional[int] = None   # co-located replica count (None = 2)
+    num_prefill_replicas: int = 1        # disaggregated prefill pool
+    num_decode_replicas: int = 1         # disaggregated decode pool
+    router: Optional[str] = None         # router policy name; None = mode default
+
+    def __post_init__(self):
+        if self.mode not in ("colocated", "disaggregated"):
+            raise ValueError(
+                f"unknown cluster mode {self.mode!r}; expected 'colocated' or 'disaggregated'"
+            )
+        if self.mode == "colocated":
+            if self.num_replicas is not None and self.num_replicas < 1:
+                raise ValueError("num_replicas must be >= 1")
+        else:
+            if self.num_replicas is not None:
+                raise ValueError(
+                    "disaggregated mode sizes the fleet with num_prefill_replicas / "
+                    "num_decode_replicas; num_replicas applies to colocated mode only"
+                )
+            if self.num_prefill_replicas < 1 or self.num_decode_replicas < 1:
+                raise ValueError(
+                    "disaggregated mode needs >= 1 prefill and >= 1 decode replica"
+                )
+
+    @property
+    def colocated_replicas(self) -> int:
+        return 2 if self.num_replicas is None else self.num_replicas
+
+    @property
+    def total_replicas(self) -> int:
+        """Total GPU count (at tp_degree=1) — the equal-resources axis of any A/B."""
+        if self.mode == "colocated":
+            return self.colocated_replicas
+        return self.num_prefill_replicas + self.num_decode_replicas
+
+    def roles(self) -> List[str]:
+        """Role of each replica, in replica-id order (prefill pool first)."""
+        if self.mode == "colocated":
+            return [REPLICA_ROLE_MIXED] * self.colocated_replicas
+        return (
+            [REPLICA_ROLE_PREFILL] * self.num_prefill_replicas
+            + [REPLICA_ROLE_DECODE] * self.num_decode_replicas
+        )
+
+    @property
+    def default_router(self) -> str:
+        return "disaggregated" if self.mode == "disaggregated" else "round-robin"
 
 
 #: Deployed bytes per parameter for the two-level 4-bit formats: 4-bit codes plus one byte of

@@ -32,6 +32,7 @@ __all__ = [
     "SHAREGPT_OUTPUTS",
     "generate_trace",
     "sharegpt_trace",
+    "merge_traces",
 ]
 
 
@@ -189,6 +190,39 @@ def generate_trace(
         )
         for i in range(num_requests)
     ]
+
+
+def merge_traces(*traces: Sequence["Request"], reassign_ids: bool = True) -> List["Request"]:
+    """Fan multiple request streams into one arrival-ordered trace (cluster workloads).
+
+    The cluster router consumes a single time-ordered stream, but realistic multi-tenant
+    traffic is generated per tenant (different rates, length mixes, priorities).  This
+    merges any number of traces by arrival time.  With ``reassign_ids`` (default) every
+    request is copied and renumbered ``0..n-1`` so the merged trace satisfies the cluster's
+    unique-id requirement even when the inputs were generated independently; with
+    ``reassign_ids=False`` the caller guarantees uniqueness (e.g. via ``start_id``) and the
+    original objects are returned.
+    """
+    import copy
+
+    merged = sorted(
+        (r for trace in traces for r in trace),
+        key=lambda r: (r.arrival_time_s, r.request_id),
+    )
+    if not reassign_ids:
+        ids = [r.request_id for r in merged]
+        if len(set(ids)) != len(ids):
+            raise ValueError(
+                "merged traces contain duplicate request ids; pass reassign_ids=True "
+                "or generate the inputs with disjoint start_id ranges"
+            )
+        return merged
+    renumbered = []
+    for i, request in enumerate(merged):
+        clone = copy.copy(request)
+        clone.request_id = i
+        renumbered.append(clone)
+    return renumbered
 
 
 def sharegpt_trace(num_requests: int, rate_rps: float, seed: int = 0,

@@ -41,15 +41,31 @@ class TestBenchSchema:
 
     def test_acceptance_flags_hold(self, payload):
         """The A/B criteria this simulator is accepted against: the cost-based hybrid never
-        loses goodput to recompute-only, and SJF cuts p99 TTFT vs. FCFS on the long tail."""
+        loses goodput to recompute-only, SJF cuts p99 TTFT vs. FCFS on the long tail, and
+        disaggregated prefill/decode cuts p99 TTFT vs. co-located at equal GPU count."""
         assert payload["preemption_ab"]["hybrid_goodput_ge_recompute"] is True
         assert payload["scheduling_ab"]["sjf_p99_ttft_improves"] is True
+        assert payload["cluster_ab"]["disagg_p99_ttft_improves"] is True
 
     def test_ab_sections_cover_all_policies(self, payload):
         assert set(payload["preemption_ab"]["policies"]) == {"recompute", "swap", "hybrid"}
         assert set(payload["scheduling_ab"]["policies"]) == {
             "fcfs", "priority", "sjf", "fairness"
         }
+        assert set(payload["cluster_ab"]["configs"]) == {"colocated", "disaggregated"}
+
+    def test_cluster_ab_compares_equal_gpu_counts(self, payload):
+        """The disaggregation win must not come from extra hardware: both configs field
+        the workload's total_replicas GPUs, and the disaggregated one actually pays its
+        per-request KV handoffs."""
+        section = payload["cluster_ab"]
+        total = section["workload"]["total_replicas"]
+        for config in section["configs"].values():
+            assert len(config["replica_roles"].split(",")) == total
+        disagg = section["configs"]["disaggregated"]
+        assert disagg["kv_handoffs"] > 0
+        assert disagg["kv_handoff_s"] > 0.0
+        assert payload["cluster_ab"]["configs"]["colocated"]["kv_handoffs"] == 0
 
     def test_validator_rejects_mutations(self, bench, payload):
         broken = json.loads(json.dumps(payload))

@@ -1,0 +1,125 @@
+"""Router-policy unit tests: each policy's selection rule on synthetic replica loads."""
+
+import pytest
+
+from repro.serving import (
+    ROUTER_POLICIES,
+    DisaggregatedRouter,
+    LeastKvLoadRouter,
+    LeastOutstandingTokensRouter,
+    Request,
+    RoundRobinRouter,
+    RouterPolicy,
+    get_router_policy,
+)
+
+
+class FakeScheduler:
+    """Just the load surface router policies read."""
+
+    def __init__(self, outstanding_tokens=0, kv_load=0.0):
+        self.outstanding_tokens = outstanding_tokens
+        self.kv_load = kv_load
+
+
+class FakeReplica:
+    def __init__(self, replica_id, outstanding_tokens=0, kv_load=0.0):
+        self.replica_id = replica_id
+        self.scheduler = FakeScheduler(outstanding_tokens, kv_load)
+
+
+REQ = Request(0, prompt_tokens=64, output_tokens=8)
+
+
+class TestRegistry:
+    def test_known_policies(self):
+        assert set(ROUTER_POLICIES) == {
+            "round-robin", "least-tokens", "least-kv", "disaggregated"
+        }
+
+    def test_lookup_by_name_returns_fresh_instances(self):
+        a = get_router_policy("round-robin")
+        b = get_router_policy("round-robin")
+        assert isinstance(a, RoundRobinRouter)
+        assert a is not b  # stateful routers must not be shared between clusters
+
+    def test_instance_passthrough(self):
+        router = RoundRobinRouter()
+        assert get_router_policy(router) is router
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown router policy"):
+            get_router_policy("magic")
+
+    def test_base_policy_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            RouterPolicy().select([FakeReplica(0)], REQ)
+
+
+class TestRoundRobin:
+    def test_cycles_through_replicas(self):
+        router = RoundRobinRouter()
+        replicas = [FakeReplica(i) for i in range(3)]
+        picks = [router.select(replicas, REQ).replica_id for _ in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_ignores_load(self):
+        router = RoundRobinRouter()
+        replicas = [FakeReplica(0, outstanding_tokens=10**6), FakeReplica(1)]
+        assert router.select(replicas, REQ).replica_id == 0
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ValueError):
+            RoundRobinRouter().select([], REQ)
+
+    def test_decode_cursor_independent_of_admission_cursor(self):
+        """Alternating arrivals and migrations must still cycle both pools: a shared
+        cursor would pin each event stream to one fixed replica."""
+        router = RoundRobinRouter()
+        prefill = [FakeReplica(0), FakeReplica(1)]
+        decode = [FakeReplica(2), FakeReplica(3)]
+        admitted, migrated = [], []
+        for _ in range(4):
+            admitted.append(router.select(prefill, REQ).replica_id)
+            migrated.append(router.select_decode(decode, REQ).replica_id)
+        assert admitted == [0, 1, 0, 1]
+        assert migrated == [2, 3, 2, 3]
+
+
+class TestLeastOutstandingTokens:
+    def test_picks_min_load(self):
+        replicas = [FakeReplica(0, 500), FakeReplica(1, 20), FakeReplica(2, 300)]
+        assert LeastOutstandingTokensRouter().select(replicas, REQ).replica_id == 1
+
+    def test_ties_break_on_replica_id(self):
+        replicas = [FakeReplica(2, 50), FakeReplica(0, 50), FakeReplica(1, 50)]
+        assert LeastOutstandingTokensRouter().select(replicas, REQ).replica_id == 0
+
+
+class TestLeastKvLoad:
+    def test_picks_emptiest_pool(self):
+        replicas = [FakeReplica(0, kv_load=0.9), FakeReplica(1, kv_load=0.1),
+                    FakeReplica(2, kv_load=0.5)]
+        assert LeastKvLoadRouter().select(replicas, REQ).replica_id == 1
+
+    def test_kv_ties_break_on_outstanding_tokens(self):
+        replicas = [FakeReplica(0, outstanding_tokens=100, kv_load=0.5),
+                    FakeReplica(1, outstanding_tokens=10, kv_load=0.5)]
+        assert LeastKvLoadRouter().select(replicas, REQ).replica_id == 1
+
+
+class TestDisaggregatedRouter:
+    def test_prefill_side_balances_on_tokens(self):
+        router = DisaggregatedRouter()
+        prefill = [FakeReplica(0, 900, kv_load=0.0), FakeReplica(1, 100, kv_load=0.99)]
+        assert router.select(prefill, REQ).replica_id == 1
+
+    def test_decode_side_balances_on_kv(self):
+        router = DisaggregatedRouter()
+        decode = [FakeReplica(0, 100, kv_load=0.8), FakeReplica(1, 900, kv_load=0.2)]
+        assert router.select_decode(decode, REQ).replica_id == 1
+
+    def test_default_select_decode_falls_back_to_select(self):
+        """Policies without a decode-specific rule route migrations like admissions."""
+        replicas = [FakeReplica(0, 500), FakeReplica(1, 20)]
+        assert LeastOutstandingTokensRouter().select_decode(replicas, REQ).replica_id == 1

@@ -307,6 +307,78 @@ class TestConservationInvariants:
         assert second.kv_transfer_s == pytest.approx(first.kv_transfer_s)
 
 
+class TestOverlappedSwapTransfers:
+    """`overlap_swap_transfers` charges max(compute, transfers) per iteration instead of
+    their sum — the makespan must never be worse than the serialized model."""
+
+    #: Arrival-free KV-pressure workload: identical scheduling decisions under both
+    #: transfer models (clock values never feed back into admission order), so the
+    #: serialized-vs-overlapped comparison is apples to apples.
+    WORKLOAD = dict(max_batch_size=16, preemption_policy="swap",
+                    kv_budget_bytes=256 * 2**20, host_kv_budget_bytes=512 * 2**20)
+
+    @staticmethod
+    def _trace():
+        return [Request(i, prompt_tokens=300, output_tokens=64) for i in range(12)]
+
+    def test_overlap_never_slower_than_serialized(self, engine):
+        serialized = ContinuousBatchingScheduler(engine, **self.WORKLOAD).run(self._trace())
+        overlapped = ContinuousBatchingScheduler(
+            engine, overlap_swap_transfers=True, **self.WORKLOAD
+        ).run(self._trace())
+        assert serialized.swap_preemptions > 0  # the comparison must exercise transfers
+        assert overlapped.completed_requests == serialized.completed_requests == 12
+        assert overlapped.swap_preemptions == serialized.swap_preemptions
+        assert overlapped.kv_transfer_s == pytest.approx(serialized.kv_transfer_s)
+        assert overlapped.simulated_time_s <= serialized.simulated_time_s
+
+    def test_overlap_strictly_hides_some_transfer_time(self, engine):
+        """On this workload compute dominates every transfer, so overlap should hide
+        traffic and beat the serialized clock outright."""
+        serialized = ContinuousBatchingScheduler(engine, **self.WORKLOAD).run(self._trace())
+        overlapped = ContinuousBatchingScheduler(
+            engine, overlap_swap_transfers=True, **self.WORKLOAD
+        ).run(self._trace())
+        assert overlapped.simulated_time_s < serialized.simulated_time_s
+
+    def test_no_swaps_means_identical_timelines(self, engine):
+        trace = [Request(i, prompt_tokens=64, output_tokens=8) for i in range(6)]
+        plain = ContinuousBatchingScheduler(engine, max_batch_size=8).run(trace)
+        overlapped = ContinuousBatchingScheduler(
+            engine, max_batch_size=8, overlap_swap_transfers=True
+        ).run(trace)
+        assert overlapped.kv_transfer_s == 0.0
+        assert overlapped.simulated_time_s == plain.simulated_time_s
+
+    def test_mid_session_stats_polling_is_side_effect_free(self, engine):
+        """stats() is a pure snapshot: observing an overlapped session between steps must
+        not serialize pending swap transfers into the clock."""
+        polled = ContinuousBatchingScheduler(
+            engine, overlap_swap_transfers=True, **self.WORKLOAD
+        )
+        polled.begin()
+        for request in self._trace():
+            polled.submit(request)
+        while polled.has_work:
+            polled.step()
+            polled.stats()  # a progress poll, as a cluster dashboard would issue
+        unpolled = ContinuousBatchingScheduler(
+            engine, overlap_swap_transfers=True, **self.WORKLOAD
+        ).run(self._trace())
+        assert polled.stats().simulated_time_s == pytest.approx(
+            unpolled.simulated_time_s
+        )
+
+    def test_overlap_flag_threads_through_simulate_serving(self):
+        from repro.core import simulate_serving
+        sim = simulate_serving(
+            "liquidserve", "llama2-7b", num_requests=12, arrival_rate_rps=1000.0,
+            seed=0, preemption_policy="swap", kv_budget_bytes=2 * 2**30,
+            host_kv_budget_bytes=4 * 2**30, overlap_swap_transfers=True,
+        )
+        assert sim.stats.completed_requests == 12
+
+
 class TestSchedulerStats:
     def test_latency_percentiles_and_slo(self, engine):
         scheduler = ContinuousBatchingScheduler(engine, max_batch_size=16)
