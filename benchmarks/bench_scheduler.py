@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Performance harness for the request-level scheduler simulation.
 
-Five sections, written to ``BENCH_scheduler.json`` at the repository root so subsequent PRs
+Six sections, written to ``BENCH_scheduler.json`` at the repository root so subsequent PRs
 can track both simulator wall-time (is the scheduler hot loop regressing?) and the simulated
 serving metrics (did a change silently alter the model?):
 
@@ -18,24 +18,34 @@ serving metrics (did a change silently alter the model?):
   co-located 4-replica cluster vs. a disaggregated 2-prefill + 2-decode cluster
   (DistServe-style KV handoff over the interconnect); ``disagg_p99_ttft_improves`` asserts
   disaggregation cuts p99 TTFT by removing prefill/decode interference;
+* ``scale`` — the fast-forward stress sections: a 20,000-request ShareGPT trace through one
+  replica and a 4,000-request trace through a 16-replica co-located cluster behind the
+  least-outstanding-tokens router (the O(1) incremental load counter's worst customer).
+  These sizes run unchanged in ``--fast`` mode: analytic decode fast-forward is what makes
+  them CI-viable at all;
 * ``tensor_parallel_llama2_70b`` — the TP acceptance scenario (OOM on one GPU, finite on 4).
 
 The payload always matches ``SCHEMA`` below (validated before writing; the tier-1 suite
 re-validates the committed file), so the perf trajectory stays machine-comparable across PRs.
 
 Run:  PYTHONPATH=src python benchmarks/bench_scheduler.py [--fast] [--dump-requests CSV]
+                                                          [--profile]
 
-``--fast`` shrinks the traces for CI (same sections, same schema, smaller ``num_requests``)
-and writes to ``BENCH_scheduler.fast.json`` so the committed full-mode trajectory is never
-overwritten by a CI or local fast run.  ``--dump-requests PATH`` additionally writes the
-``trace_simulation`` run's per-request latency decomposition (TTFT, TPOT, queue time,
-preemptions) as CSV for latency-distribution analysis.
+``--fast`` shrinks the A/B traces for CI (same sections, same schema, smaller
+``num_requests``) and writes to ``BENCH_scheduler.fast.json`` so the committed full-mode
+trajectory is never overwritten by a CI or local fast run.  ``--dump-requests PATH``
+additionally writes the ``trace_simulation`` run's per-request latency decomposition (TTFT,
+TPOT, queue time, preemptions) as CSV for latency-distribution analysis.  ``--profile``
+wraps the ``trace_simulation`` section in cProfile and prints the hottest functions —
+the first place to look when ``harness.iterations_per_s`` regresses.
 """
 
 import argparse
+import cProfile
 import csv
 import json
 import os
+import pstats
 import time
 
 from repro.core import simulate_cluster, simulate_serving
@@ -72,6 +82,15 @@ CLUSTER_AB_PROMPTS = LengthDistribution.lognormal(median=1024.0, sigma=0.9, maxi
 CLUSTER_AB_OUTPUTS = LengthDistribution.lognormal(median=64.0, sigma=0.8, maximum=512)
 CLUSTER_AB_ARRIVAL_RPS = 24.0
 CLUSTER_AB_TOTAL_REPLICAS = 4  # 4 co-located vs. 2 prefill + 2 decode
+
+#: Scale sections (identical in fast and full mode — fast-forward is the point):
+#: a 20k-request single-replica trace and a 16-replica cluster at a per-replica load
+#: matching the single-replica trace (10 rps each).
+SCALE_TRACE_REQUESTS = 20_000
+SCALE_TRACE_RPS = 20.0
+SCALE_CLUSTER_REQUESTS = 4_000
+SCALE_CLUSTER_REPLICAS = 16
+SCALE_CLUSTER_RPS = 160.0
 
 #: Documented result schema. Leaf values are the required types (``int`` also satisfies a
 #: ``float`` leaf); nested dicts are required sub-objects; ``dict`` leaves are free-form.
@@ -112,6 +131,18 @@ SCHEMA = {
         "workload": dict,
         "configs": dict,  # "colocated" / "disaggregated" -> per-config metrics
         "disagg_p99_ttft_improves": bool,
+    },
+    "scale": {
+        "trace": {
+            "workload": dict,
+            "harness": {"wall_time_s": float, "iterations_per_s": float},
+            "simulated": dict,  # same summary fields as trace_simulation.simulated
+        },
+        "cluster": {
+            "workload": dict,
+            "harness": {"wall_time_s": float, "iterations_per_s": float},
+            "summary": dict,  # cluster-level throughput / SLO metrics
+        },
     },
     "tensor_parallel_llama2_70b": {
         "single_gpu_oom": bool,
@@ -166,18 +197,43 @@ def _simulated_summary(sim) -> dict:
     }
 
 
-def bench_trace_simulation(num_requests: int):
-    """Returns the payload section plus the simulation (for ``--dump-requests``)."""
-    start = time.perf_counter()
-    sim = simulate_serving(
-        "liquidserve",
-        "llama2-7b",
-        num_requests=num_requests,
-        arrival_rate_rps=20.0,
-        seed=0,
-        slo=AB_SLO,
-    )
-    wall_s = time.perf_counter() - start
+def _warm_up() -> None:
+    """One tiny throwaway simulation before any timed section.
+
+    First use pays one-time costs that are not the scheduler's (NumPy RNG and ufunc
+    initialization, kernel cost-model setup); ``harness.iterations_per_s`` is meant to
+    track the simulator hot loop, so those are paid here, outside every timer.
+    """
+    simulate_serving("liquidserve", "llama2-7b", num_requests=4, arrival_rate_rps=20.0,
+                     seed=0)
+
+
+def bench_trace_simulation(num_requests: int, profile: bool = False):
+    """Returns the payload section plus the simulation (for ``--dump-requests``).
+
+    ``harness.wall_time_s`` is the best of five runs: the simulation is deterministic
+    (identical stats every run), so run-to-run wall variance is host noise and the
+    minimum is the cleanest estimate of what the simulator costs.
+    """
+    profiler = cProfile.Profile() if profile else None
+    if profiler is not None:
+        profiler.enable()
+    wall_s = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        sim = simulate_serving(
+            "liquidserve",
+            "llama2-7b",
+            num_requests=num_requests,
+            arrival_rate_rps=20.0,
+            seed=0,
+            slo=AB_SLO,
+        )
+        wall_s = min(wall_s, time.perf_counter() - start)
+    if profiler is not None:
+        profiler.disable()
+        print("== trace_simulation profile (top 25 by cumulative time) ==")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
     return sim, {
         "workload": {
             "system": sim.system,
@@ -352,6 +408,85 @@ def bench_cluster_ab(num_requests: int) -> dict:
     }
 
 
+def bench_scale() -> dict:
+    """Fast-forward stress sections: the workloads stepwise execution cannot serve in CI.
+
+    Sizes are identical in fast and full mode — the entire point of the analytic
+    fast-forward layer is that a 20k-request trace and a 16-replica fleet finish in
+    seconds, so the committed and CI numbers exercise the same workload.
+    """
+    start = time.perf_counter()
+    sim = simulate_serving(
+        "liquidserve",
+        "llama2-7b",
+        num_requests=SCALE_TRACE_REQUESTS,
+        arrival_rate_rps=SCALE_TRACE_RPS,
+        seed=0,
+        slo=AB_SLO,
+    )
+    trace_wall_s = time.perf_counter() - start
+    trace_section = {
+        "workload": {
+            "system": sim.system,
+            "model": sim.model,
+            "device": "H800",
+            "num_requests": sim.num_requests,
+            "arrival": f"poisson-{SCALE_TRACE_RPS:g}rps",
+            "lengths": "sharegpt-lognormal",
+            "seed": 0,
+        },
+        "harness": {
+            "wall_time_s": round(trace_wall_s, 3),
+            "iterations_per_s": round(sim.stats.num_iterations / trace_wall_s, 1),
+        },
+        "simulated": _simulated_summary(sim),
+    }
+
+    start = time.perf_counter()
+    cluster = simulate_cluster(
+        "liquidserve",
+        "llama2-7b",
+        mode="colocated",
+        num_replicas=SCALE_CLUSTER_REPLICAS,
+        router="least-tokens",  # polls every replica's load per dispatch: O(1) or bust
+        num_requests=SCALE_CLUSTER_REQUESTS,
+        arrival_rate_rps=SCALE_CLUSTER_RPS,
+        seed=0,
+        slo=AB_SLO,
+    )
+    cluster_wall_s = time.perf_counter() - start
+    cluster_iterations = sum(s.num_iterations for s in cluster.replica_stats)
+    cluster_section = {
+        "workload": {
+            "system": cluster.system,
+            "model": cluster.model,
+            "device": "H800",
+            "num_requests": SCALE_CLUSTER_REQUESTS,
+            "arrival": f"poisson-{SCALE_CLUSTER_RPS:g}rps",
+            "lengths": "sharegpt-lognormal",
+            "seed": 0,
+            "num_replicas": SCALE_CLUSTER_REPLICAS,
+            "router": cluster.router,
+        },
+        "harness": {
+            "wall_time_s": round(cluster_wall_s, 3),
+            "iterations_per_s": round(cluster_iterations / cluster_wall_s, 1),
+        },
+        "summary": {
+            "completed_requests": cluster.result.completed_requests,
+            "generated_tokens": cluster.result.generated_tokens,
+            "throughput_tokens_per_s": round(cluster.throughput_tokens_per_s, 1),
+            "iterations": cluster_iterations,
+            "p50_ttft_s": round(cluster.slo.p50_ttft_s, 4),
+            "p99_ttft_s": round(cluster.slo.p99_ttft_s, 4),
+            "p99_tpot_s": round(cluster.slo.p99_tpot_s, 5),
+            "slo_attainment": round(cluster.slo.attainment, 4),
+            "goodput_rps": round(cluster.slo.goodput_rps, 2),
+        },
+    }
+    return {"trace": trace_section, "cluster": cluster_section}
+
+
 def dump_requests_csv(sim, path: str) -> None:
     """Write the per-request latency decomposition of one simulation as CSV."""
     with open(path, "w", encoding="utf-8", newline="") as fh:
@@ -393,12 +528,16 @@ def main() -> None:
                         help="shrink traces for CI (same sections and schema)")
     parser.add_argument("--dump-requests", metavar="CSV",
                         help="write the trace_simulation per-request metrics to this CSV")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the trace_simulation section and print hot spots")
     args = parser.parse_args()
     trace_requests = 120 if args.fast else 500
     ab_requests = 100 if args.fast else 300
     cluster_requests = 60 if args.fast else 200
 
-    trace_sim, trace_section = bench_trace_simulation(trace_requests)
+    _warm_up()
+    trace_sim, trace_section = bench_trace_simulation(trace_requests,
+                                                      profile=args.profile)
     payload = {
         "benchmark": "bench_scheduler",
         "mode": "fast" if args.fast else "full",
@@ -406,6 +545,7 @@ def main() -> None:
         "preemption_ab": bench_preemption_ab(ab_requests),
         "scheduling_ab": bench_scheduling_ab(ab_requests),
         "cluster_ab": bench_cluster_ab(cluster_requests),
+        "scale": bench_scale(),
         "tensor_parallel_llama2_70b": bench_tensor_parallel(),
     }
     validate_payload(payload)

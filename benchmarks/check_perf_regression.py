@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""CI perf regression gate for the scheduler simulation harness.
+
+Compares the fast-mode ``trace_simulation.harness.iterations_per_s`` from a just-produced
+``BENCH_scheduler.fast.json`` against the checked-in baseline
+(``benchmarks/perf_baseline.json``) and fails when throughput drops below
+``min_fraction`` of it.
+
+The fraction is deliberately generous (default 0.5x): CI runners are slower and noisier
+than the machines that set the baseline, and this gate exists to catch *algorithmic*
+regressions — a fast path silently disabled, an accidental O(n^2) in the hot loop — not
+2% jitter.  When a PR legitimately changes the perf envelope, re-baseline by editing
+``perf_baseline.json`` alongside it.
+
+Run:  python benchmarks/check_perf_regression.py BENCH_scheduler.fast.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "perf_baseline.json")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="bench_scheduler.py output to check")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline file (default: benchmarks/perf_baseline.json)")
+    args = parser.parse_args()
+
+    with open(args.bench_json, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    measured = float(payload["trace_simulation"]["harness"]["iterations_per_s"])
+    reference = float(baseline["trace_simulation_iterations_per_s"])
+    min_fraction = float(baseline["min_fraction"])
+    floor = reference * min_fraction
+
+    print(f"measured : {measured:,.0f} scheduler iterations/s")
+    print(f"baseline : {reference:,.0f} (floor = {min_fraction:g}x = {floor:,.0f})")
+    if measured < floor:
+        print(
+            f"FAIL: {measured:,.0f} it/s is below {floor:,.0f} "
+            f"({min_fraction:g}x of the checked-in baseline) — the simulator hot path "
+            "regressed, or this runner is pathologically slow. If the change is "
+            "intentional, update benchmarks/perf_baseline.json in the same PR."
+        )
+        return 1
+    print("OK: within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -137,6 +137,7 @@ def simulate_serving(
     overlap_swap_transfers: bool = False,
     num_priority_levels: int = 1,
     slo: Optional[SloSpec] = None,
+    fast_forward: bool = True,
 ) -> ServingSimulation:
     """Run a trace-driven request-level serving simulation end to end.
 
@@ -150,7 +151,9 @@ def simulate_serving(
     ``kv_budget_bytes`` / ``host_kv_budget_bytes`` override the device KV pool and host swap
     pool for KV-pressure studies; ``overlap_swap_transfers`` hides swap DMAs behind compute
     (``max`` instead of sum); ``num_priority_levels > 1`` samples request priorities into
-    the trace for the 'priority' scheduling policy.
+    the trace for the 'priority' scheduling policy.  ``fast_forward`` (default on) advances
+    steady decode-only phases analytically instead of iterating them — bit-identical
+    results, order-of-magnitude faster wall clock; disable it to drive every iteration.
     """
     engine = ServingEngine(system, model, device=device, tp_degree=tp_degree)
     scheduler = ContinuousBatchingScheduler(
@@ -163,6 +166,7 @@ def simulate_serving(
         kv_budget_bytes=kv_budget_bytes,
         host_kv_budget_bytes=host_kv_budget_bytes,
         overlap_swap_transfers=overlap_swap_transfers,
+        fast_forward=fast_forward,
     )
     trace = generate_trace(
         num_requests,
@@ -245,6 +249,7 @@ def simulate_cluster(
     overlap_swap_transfers: bool = False,
     num_priority_levels: int = 1,
     slo: Optional[SloSpec] = None,
+    fast_forward: bool = True,
 ) -> ClusterSimulation:
     """Run a trace-driven simulation of a multi-replica serving cluster end to end.
 
@@ -279,6 +284,7 @@ def simulate_cluster(
         kv_budget_bytes=kv_budget_bytes,
         host_kv_budget_bytes=host_kv_budget_bytes,
         overlap_swap_transfers=overlap_swap_transfers,
+        fast_forward=fast_forward,
     )
     trace = generate_trace(
         num_requests,

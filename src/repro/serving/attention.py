@@ -33,6 +33,7 @@ from .models import ModelConfig
 __all__ = [
     "AttentionCost",
     "decode_attention_cost",
+    "decode_attention_cost_from_totals",
     "ragged_decode_attention_cost",
     "chunked_prefill_attention_cost",
     "prefill_attention_cost",
@@ -66,30 +67,29 @@ def _check_efficiency(attention_efficiency: float) -> None:
         raise ValueError("attention_efficiency must be in (0, 1]")
 
 
-def ragged_decode_attention_cost(
+def decode_attention_cost_from_totals(
     model: ModelConfig,
     gpu: GpuSpec,
-    context_lengths: Sequence[int],
+    batch_size: int,
+    total_context: float,
     kv_bytes_per_element: float,
     bandwidth_efficiency: float = 0.85,
     attention_efficiency: float = 1.0,
     tp_degree: int = 1,
 ) -> AttentionCost:
-    """Cost of one decode-step attention call for one layer over a ragged batch.
+    """Closed-form decode attention cost given a batch size and *summed* context length.
 
-    Every sequence is charged for streaming exactly its own cached context — the quantity a
-    uniform-batch model overstates by billing all sequences at the batch maximum.  All terms
-    are linear per sequence, so the uniform :func:`decode_attention_cost` is the special case
-    of equal ``context_lengths``.
+    Every term of the ragged decode model is linear per sequence, so one layer's cost is a
+    function of ``(batch_size, sum(context_lengths))`` alone.  This is the form the serving
+    engine memoizes and vectorizes for fast-forward simulation; it performs the exact
+    floating-point operations of :func:`ragged_decode_attention_cost`, which delegates here.
     """
-    if not context_lengths:
-        raise ValueError("context_lengths must be non-empty")
-    if any(c <= 0 for c in context_lengths):
-        raise ValueError("context lengths must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if total_context < batch_size:
+        raise ValueError("total_context must cover at least one token per sequence")
     _check_efficiency(attention_efficiency)
 
-    batch_size = len(context_lengths)
-    total_context = float(sum(context_lengths))
     kv_dim = model.kv_dim_per_gpu(tp_degree)
     heads = model.heads_per_gpu(tp_degree)
 
@@ -110,6 +110,39 @@ def ragged_decode_attention_cost(
         kv_write=kv_write,
         compute=compute,
         overhead=_ATTENTION_LAUNCH_OVERHEAD_S,
+    )
+
+
+def ragged_decode_attention_cost(
+    model: ModelConfig,
+    gpu: GpuSpec,
+    context_lengths: Sequence[int],
+    kv_bytes_per_element: float,
+    bandwidth_efficiency: float = 0.85,
+    attention_efficiency: float = 1.0,
+    tp_degree: int = 1,
+) -> AttentionCost:
+    """Cost of one decode-step attention call for one layer over a ragged batch.
+
+    Every sequence is charged for streaming exactly its own cached context — the quantity a
+    uniform-batch model overstates by billing all sequences at the batch maximum.  All terms
+    are linear per sequence, so the uniform :func:`decode_attention_cost` is the special case
+    of equal ``context_lengths``; ``context_lengths`` may be any integer sequence, including
+    a NumPy array (the sum is taken as an exact integer reduction either way).
+    """
+    if len(context_lengths) == 0:
+        raise ValueError("context_lengths must be non-empty")
+    if min(context_lengths) <= 0:
+        raise ValueError("context lengths must be positive")
+    return decode_attention_cost_from_totals(
+        model,
+        gpu,
+        len(context_lengths),
+        float(sum(context_lengths)),
+        kv_bytes_per_element,
+        bandwidth_efficiency=bandwidth_efficiency,
+        attention_efficiency=attention_efficiency,
+        tp_degree=tp_degree,
     )
 
 

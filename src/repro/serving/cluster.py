@@ -59,7 +59,15 @@ class _RunState:
     events: List[Tuple[float, int, int, Request]] = field(default_factory=list)
     event_seq: int = 0
     origs: Dict[int, Request] = field(default_factory=dict)
-    completed: List[Request] = field(default_factory=list)
+    #: Completions keyed (completion_time_s, replica_id, per-replica drain index).  The
+    #: key is *execution-mode invariant*: a fast-forwarding replica drains a whole jump's
+    #: completions at once, so the raw cross-replica drain interleaving differs from
+    #: stepwise execution — but each replica's own completion sequence never does.
+    #: Sorting on this key therefore yields one canonical merged order (for a single
+    #: replica it degenerates to plain drain order), keeping the merged SLO report's
+    #: order-sensitive float sums bit-identical across modes.
+    completed: List[Tuple[Tuple[float, int, int], Request]] = field(default_factory=list)
+    _drain_seq: Dict[int, int] = field(default_factory=dict)
     kv_handoffs: int = 0
     kv_handoff_bytes: int = 0
     kv_handoff_s: float = 0.0
@@ -67,6 +75,15 @@ class _RunState:
     def push_event(self, time_s: float, kind: int, request: Request) -> None:
         heapq.heappush(self.events, (time_s, self.event_seq, kind, request))
         self.event_seq += 1
+
+    def merged_completions(self) -> List[Request]:
+        """The completed requests in the canonical (mode-invariant) merged order."""
+        return [request for _, request in sorted(self.completed, key=lambda e: e[0])]
+
+    def record_completion(self, replica_id: int, request: Request) -> None:
+        seq = self._drain_seq.get(replica_id, 0)
+        self._drain_seq[replica_id] = seq + 1
+        self.completed.append(((request.completion_time_s, replica_id, seq), request))
 
 
 @dataclass
@@ -148,6 +165,7 @@ class ServingCluster:
         kv_budget_bytes: Optional[int] = None,
         host_kv_budget_bytes: Optional[int] = None,
         overlap_swap_transfers: bool = False,
+        fast_forward: bool = True,
     ):
         self.spec = spec or ClusterSpec()
         self.router_name = self.spec.router or self.spec.default_router
@@ -165,6 +183,7 @@ class ServingCluster:
                 kv_budget_bytes=kv_budget_bytes,
                 host_kv_budget_bytes=host_kv_budget_bytes,
                 overlap_swap_transfers=overlap_swap_transfers,
+                fast_forward=fast_forward,
             )
             self.replicas.append(Replica(replica_id, role, engine, scheduler))
         self.prefill_replicas = [
@@ -200,7 +219,7 @@ class ServingCluster:
             # Single-token answers finish at prefill: nothing left to disaggregate.
             orig.generated = 1
             orig.completion_time_s = clone.completion_time_s
-            state.completed.append(orig)
+            state.record_completion(replica.replica_id, orig)
             return
         # Export the prompt KV from the prefill replica (its scheduler already freed the
         # blocks on completion) and charge the interconnect transfer before the decode
@@ -220,7 +239,8 @@ class ServingCluster:
 
     def _on_complete(self, state: _RunState, replica: Replica, done: Request) -> None:
         if not self.disaggregated:
-            state.completed.append(done)  # `done` IS the caller's request object
+            # `done` IS the caller's request object
+            state.record_completion(replica.replica_id, done)
         elif replica.role == REPLICA_ROLE_PREFILL:
             self._on_prefill_done(state, replica, done)
         else:
@@ -228,7 +248,7 @@ class ServingCluster:
             orig.generated = done.generated
             orig.preemptions = done.preemptions
             orig.completion_time_s = done.completion_time_s
-            state.completed.append(orig)
+            state.record_completion(replica.replica_id, orig)
 
     # ------------------------------------------------------------------ event loop
     def run(self, requests: Sequence[Request]) -> ClusterResult:
@@ -273,21 +293,39 @@ class ServingCluster:
                     target.scheduler.submit_resumed(request, now=time_s)
                 continue
             replica = min(active, key=lambda r: (r.clock, r.replica_id))
-            replica.scheduler.step()
+            # ---- fast-forward horizon: a replica may only jump through iterations the
+            # stepwise driver would also have given it consecutively.  Pending events
+            # always bound the jump (delivery happens the moment the fleet reaches the
+            # event time).  In disaggregated mode, *future* events — KV migrations minted
+            # by other replicas' completions — can appear at any time after the slowest
+            # other replica's clock, so that clock bounds the jump too; co-located runs
+            # mint no new events (all arrivals are queued up front), so only the event
+            # queue matters and drain phases collapse into single jumps.
+            stop_before: Optional[float] = (
+                state.events[0][0] if state.events else None
+            )
+            if self.disaggregated and len(active) > 1:
+                other_min = min(r.clock for r in active if r is not replica)
+                stop_before = (
+                    other_min if stop_before is None else min(stop_before, other_min)
+                )
+            if not replica.scheduler.fast_forward(stop_before):
+                replica.scheduler.step()
             for done in replica.scheduler.drain_completed():
                 self._on_complete(state, replica, done)
 
         replica_stats = [r.scheduler.stats() for r in self.replicas]
+        merged = state.merged_completions()
         return ClusterResult(
             mode=self.spec.mode,
             router=self.router_name,
             replica_roles=[r.role for r in self.replicas],
             replica_stats=replica_stats,
             simulated_time_s=max((s.simulated_time_s for s in replica_stats), default=0.0),
-            completed_requests=len(state.completed),
+            completed_requests=len(merged),
             generated_tokens=sum(s.generated_tokens for s in replica_stats),
             kv_handoffs=state.kv_handoffs,
             kv_handoff_bytes=state.kv_handoff_bytes,
             kv_handoff_s=state.kv_handoff_s,
-            requests=[copy.copy(r) for r in state.completed],
+            requests=[copy.copy(r) for r in merged],
         )

@@ -30,9 +30,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..costmodel.model import GemmShape
+import numpy as np
+
+from ..costmodel.model import GemmShape, gemm_cost
 from ..gpu.device import Device
 from ..gpu.specs import Precision
 from ..kernels.base import GemmKernel, as_device
@@ -40,8 +42,11 @@ from ..kernels.registry import get_kernel
 from ..quant.kvcache import kv_bytes_per_element
 from ..workloads.shapes import decode_layer_gemms
 from .attention import (
+    _ATTENTION_LAUNCH_OVERHEAD_S,
+    _tensor_precision,
     chunked_prefill_attention_cost,
     decode_attention_cost,
+    decode_attention_cost_from_totals,
     prefill_attention_cost,
     ragged_decode_attention_cost,
 )
@@ -111,7 +116,7 @@ class LayerBreakdown:
         }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefillChunk:
     """One prompt chunk processed inside a mixed scheduler iteration.
 
@@ -174,6 +179,31 @@ class ServingEngine:
         # which the request-level simulation hits thousands of times.
         self._gemm_time_cache: Dict[int, float] = {}
         self._lm_head_cache: Dict[int, float] = {}
+        self._others_time_cache: Dict[int, float] = {}
+        self._comm_time_cache: Dict[int, float] = {}
+        # Decode-iteration closed form: one layer's decode cost is a function of
+        # (batch_size, sum(contexts)) alone, so the whole iteration memoizes on that pair
+        # and vectorizes over arrays of context totals (the fast-forward path).
+        self._decode_step_cache: Dict[Tuple[int, int], float] = {}
+        self._decode_coeff_cache: Dict[int, Tuple[float, float, float, float, float]] = {}
+        # Chunked-prefill attention repeats heavily at the scheduler's fixed chunk
+        # granularity (e.g. (256, 0), (256, 256), ...), so it memoizes on the chunk shape.
+        self._chunk_attention_cache: Dict[Tuple[int, int], float] = {}
+        spec = self.device.spec
+        attn_eff = self.system.attention_efficiency
+        self._attn_kv_dim = self.model.kv_dim_per_gpu(self.tp_degree)
+        self._attn_heads = self.model.heads_per_gpu(self.tp_degree)
+        self._attn_kv_bytes = kv_bytes_per_element(self.system.kv_format)
+        # Exactly the scalar sub-expressions of decode_attention_cost_from_totals, hoisted:
+        # same operand order, so memoized/vectorized evaluation is bit-identical.
+        self._attn_effective_bw = spec.memory_bandwidth * 0.85 * attn_eff
+        self._attn_tc_denom = (
+            spec.tensor_core_throughput(_tensor_precision(spec)) * attn_eff
+        )
+        # Kernel cost-model parameters are pure functions of the GPU spec; resolving them
+        # per GEMM estimate was a measurable share of the scheduler-simulation profile.
+        self._kernel_params = self.kernel.cost_params(spec)
+        self._fp16_kernel_params = self._fp16_kernel.cost_params(spec)
 
     # ------------------------------------------------------------------ memory accounting
     def weight_memory_bytes(self) -> int:
@@ -214,12 +244,17 @@ class ServingEngine:
         """One FP16 ring all-reduce of ``num_tokens`` hidden-state vectors over the TP group."""
         if self.tp_degree == 1 or num_tokens <= 0:
             return 0.0
+        cached = self._comm_time_cache.get(num_tokens)
+        if cached is not None:
+            return cached
         payload = num_tokens * self.model.hidden_size * 2.0
         ring = (
             2.0 * (self.tp_degree - 1) / self.tp_degree * payload
             / self.device.spec.interconnect_bandwidth
         )
-        return ring + _ALLREDUCE_LATENCY_S
+        total = ring + _ALLREDUCE_LATENCY_S
+        self._comm_time_cache[num_tokens] = total
+        return total
 
     def kv_transfer_time(self, num_bytes: float) -> float:
         """One-way KV transfer over the GPU <-> host link (one swap-out or swap-in).
@@ -274,20 +309,21 @@ class ServingEngine:
         if cached is not None:
             return cached
         gemms = decode_layer_gemms(self.model, num_tokens, tp_degree=self.tp_degree)
+        # Inlined kernel.estimate(shape).latency_s: the report object, device resolution
+        # and cost-param lookup are skipped, but each shape's latency remains the same
+        # gemm_cost(...).total sum the public estimate API returns.
+        spec = self.device.spec
+        params = self._kernel_params
         total = 0.0
         for shape in gemms.attention_gemms():
-            total += self.kernel.estimate(shape, self.device).latency_s
+            total += gemm_cost(shape, spec, params).total
         if self.model.is_moe:
             # Per-expert FFN GEMMs executed as one grouped GEMM (persistent kernel).
-            total += self.kernel.estimate(
-                gemms.gate_up[0], self.device, group_sizes=gemms.gate_up
-            ).latency_s
-            total += self.kernel.estimate(
-                gemms.down[0], self.device, group_sizes=gemms.down
-            ).latency_s
+            total += sum(gemm_cost(s, spec, params).total for s in gemms.gate_up)
+            total += sum(gemm_cost(s, spec, params).total for s in gemms.down)
         else:
             for shape in gemms.ffn_gemms():
-                total += self.kernel.estimate(shape, self.device).latency_s
+                total += gemm_cost(shape, spec, params).total
         self._gemm_time_cache[num_tokens] = total
         return total
 
@@ -304,12 +340,17 @@ class ServingEngine:
         return cost.total
 
     def layer_others_time(self, num_tokens: int) -> float:
+        cached = self._others_time_cache.get(num_tokens)
+        if cached is not None:
+            return cached
         elementwise_bytes = (
             _ELEMENTWISE_PASSES * 2.0 * num_tokens * self.model.hidden_size * 2.0
         )
         elementwise = elementwise_bytes / (self.device.spec.memory_bandwidth * 0.7)
         fixed = 6.0e-6 + self.system.framework_overhead_per_layer_s
-        return self.system.others_scale * elementwise + fixed
+        total = self.system.others_scale * elementwise + fixed
+        self._others_time_cache[num_tokens] = total
+        return total
 
     def layer_breakdown(self, batch_size: int, context_length: int) -> LayerBreakdown:
         """Per-layer decode time split — the quantity plotted in Figures 4 and 10."""
@@ -328,7 +369,7 @@ class ServingEngine:
         if cached is not None:
             return cached
         shape = GemmShape(num_tokens, self.model.vocab_size // self.tp_degree, self.model.hidden_size)
-        total = self._fp16_kernel.estimate(shape, self.device).latency_s
+        total = gemm_cost(shape, self.device.spec, self._fp16_kernel_params).total
         total += self._logits_gather_time(num_tokens)
         self._lm_head_cache[num_tokens] = total
         return total
@@ -338,13 +379,79 @@ class ServingEngine:
         per_layer = self.layer_breakdown(batch_size, context_length).total
         return per_layer * self.model.num_layers + self.lm_head_time(batch_size)
 
-    def ragged_decode_step_time(self, context_lengths: Sequence[int]) -> float:
+    def ragged_decode_step_time(
+        self, context_lengths: Union[Sequence[int], np.ndarray]
+    ) -> float:
         """Latency of one decode iteration over a ragged batch.
 
         Each sequence is charged attention over *its own* cached context instead of the batch
         maximum — the uniform :meth:`decode_step_time` is the equal-lengths special case.
+        ``context_lengths`` may be a list or a NumPy integer array; either way the cost is a
+        closed form of ``(batch_size, sum(contexts))`` evaluated as one exact integer
+        reduction (see :meth:`decode_iteration_time`), not a per-sequence Python loop.
         """
         return self.mixed_step_time(context_lengths, [])
+
+    # ---- decode-iteration closed form (the fast-forward substrate) -----------------
+    def _decode_coeffs(self, batch_size: int) -> Tuple[float, float, float, float, float]:
+        """Context-independent scalars of one decode iteration at ``batch_size``."""
+        cached = self._decode_coeff_cache.get(batch_size)
+        if cached is None:
+            kv_write = (
+                2.0 * batch_size * self._attn_kv_dim * self._attn_kv_bytes
+            ) / self._attn_effective_bw
+            cached = (
+                kv_write,
+                self.layer_gemm_time(batch_size),
+                self.layer_others_time(batch_size),
+                2.0 * self.allreduce_time(batch_size),
+                self.lm_head_time(batch_size),
+            )
+            self._decode_coeff_cache[batch_size] = cached
+        return cached
+
+    def _decode_step_core(self, batch_size: int, totals):
+        """One decode iteration's latency as a function of the summed context length.
+
+        ``totals`` is a float or a float64 ndarray; every operation below mirrors the
+        operand order of :func:`decode_attention_cost_from_totals` composed exactly as
+        :meth:`mixed_step_time` composes it, so scalar and vectorized evaluation are
+        bit-identical to the stepwise path (IEEE-754 ops are elementwise identical).
+        """
+        kv_write, gemm, others, comm, lm_head = self._decode_coeffs(batch_size)
+        kv_elements = 2.0 * totals * self._attn_kv_dim
+        kv_read = kv_elements * self._attn_kv_bytes / self._attn_effective_bw
+        flops = 8.0 * totals * self._attn_heads * self.model.head_dim
+        compute = flops / self._attn_tc_denom
+        attention = kv_read + kv_write + compute + _ATTENTION_LAUNCH_OVERHEAD_S
+        per_layer = gemm + attention + others + comm
+        return per_layer * self.model.num_layers + lm_head
+
+    def decode_iteration_time(self, batch_size: int, total_context: int) -> float:
+        """Latency of one pure-decode iteration given the *summed* context length.
+
+        The memoized scalar form of the ragged decode model: all per-sequence terms are
+        linear, so ``(batch_size, total_context)`` determines the iteration cost exactly.
+        """
+        key = (batch_size, total_context)
+        cached = self._decode_step_cache.get(key)
+        if cached is None:
+            cached = float(self._decode_step_core(batch_size, float(total_context)))
+            self._decode_step_cache[key] = cached
+        return cached
+
+    def decode_iteration_times(
+        self, batch_size: int, total_contexts: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`decode_iteration_time` over an array of context totals.
+
+        This is what analytic fast-forward uses to price a whole run of decode-only
+        iterations in one NumPy evaluation; each element is bit-identical to the scalar
+        call at that total.
+        """
+        return self._decode_step_core(
+            batch_size, np.asarray(total_contexts, dtype=np.float64)
+        )
 
     def chunked_prefill_time(self, chunk_tokens: int, context_start: int = 0) -> float:
         """Latency of prefilling one chunk of a single prompt (no decode tokens alongside)."""
@@ -363,6 +470,16 @@ class ServingEngine:
         positions that emit a token: every decode sequence plus prompt-completing chunks.
         """
         decode_batch = len(decode_context_lengths)
+        if decode_batch and min(decode_context_lengths) <= 0:
+            raise ValueError("context lengths must be positive")
+        if not prefill_chunks:
+            # Pure decode: the cost is a closed form of (batch, sum of contexts) — the
+            # memoized path the scheduler and analytic fast-forward share bit for bit.
+            if decode_batch == 0:
+                raise ValueError("an iteration must process at least one token")
+            return self.decode_iteration_time(
+                decode_batch, int(sum(decode_context_lengths))
+            )
         prefill_tokens = sum(c.tokens for c in prefill_chunks)
         total_tokens = decode_batch + prefill_tokens
         if total_tokens <= 0:
@@ -370,24 +487,30 @@ class ServingEngine:
 
         attention = 0.0
         if decode_batch:
-            attention += ragged_decode_attention_cost(
+            attention += decode_attention_cost_from_totals(
                 self.model,
                 self.device.spec,
-                decode_context_lengths,
+                decode_batch,
+                float(sum(decode_context_lengths)),
                 kv_bytes_per_element(self.system.kv_format),
                 attention_efficiency=self.system.attention_efficiency,
                 tp_degree=self.tp_degree,
             ).total
         for chunk in prefill_chunks:
-            attention += chunked_prefill_attention_cost(
-                self.model,
-                self.device.spec,
-                chunk.tokens,
-                chunk.context_start,
-                kv_bytes_per_element(self.system.kv_format),
-                attention_efficiency=self.system.attention_efficiency,
-                tp_degree=self.tp_degree,
-            ).total
+            chunk_key = (chunk.tokens, chunk.context_start)
+            chunk_attention = self._chunk_attention_cache.get(chunk_key)
+            if chunk_attention is None:
+                chunk_attention = chunked_prefill_attention_cost(
+                    self.model,
+                    self.device.spec,
+                    chunk.tokens,
+                    chunk.context_start,
+                    kv_bytes_per_element(self.system.kv_format),
+                    attention_efficiency=self.system.attention_efficiency,
+                    tp_degree=self.tp_degree,
+                ).total
+                self._chunk_attention_cache[chunk_key] = chunk_attention
+            attention += chunk_attention
 
         per_layer = (
             self.layer_gemm_time(total_tokens)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional, Set
 
 from ..quant.kvcache import kv_bytes_per_element
@@ -53,7 +54,10 @@ class KvCacheConfig:
     #: park swapped-out sequences.  0 disables swap-based preemption.
     host_memory_budget_bytes: int = 0
 
-    @property
+    # Derived geometry is memoized: the scheduler reads these on every block allocation,
+    # and recomputing model-config arithmetic per token append dominated its profile.
+    # (cached_property stores straight into __dict__, which frozen dataclasses permit.)
+    @cached_property
     def bytes_per_token(self) -> float:
         """KV bytes one token occupies on one GPU across all layers (K and V)."""
         full = self.model.kv_bytes_per_token(kv_bytes_per_element(self.kv_format))
@@ -61,17 +65,17 @@ class KvCacheConfig:
             return full
         return full * self.model.kv_dim_per_gpu(self.tp_degree) / self.model.kv_dim
 
-    @property
+    @cached_property
     def bytes_per_block(self) -> int:
         return int(math.ceil(self.block_tokens * self.bytes_per_token))
 
-    @property
+    @cached_property
     def total_blocks(self) -> int:
         if self.memory_budget_bytes <= 0:
             return 0
         return self.memory_budget_bytes // self.bytes_per_block
 
-    @property
+    @cached_property
     def total_host_blocks(self) -> int:
         if self.host_memory_budget_bytes <= 0:
             return 0
@@ -215,32 +219,92 @@ class PagedKvCache:
         needs, :class:`KvCacheOutOfMemory` is raised and the sequence is left unchanged.
         Growing into a tail block shared with a fork first copies that block (copy-on-write),
         which costs one extra block.
+
+        This is the allocator's hottest entry point (one call per decode-token append, one
+        per fast-forward jump per sequence), so the block math is inlined and new blocks
+        are claimed from the free list in one slice instead of block-at-a-time pops.
         """
         state = self._sequences.get(seq_id)
         if state is None:
             raise KeyError(f"unknown sequence {seq_id}")
+        return self.extend_state(state, num_tokens)
+
+    def extend_state(self, state: SequenceState, num_tokens: int) -> SequenceState:
+        """:meth:`extend_sequence` for a caller already holding the sequence's state.
+
+        The scheduler resolves each resident's :class:`SequenceState` once per iteration
+        (it also needs the current token count), so the grow path skips the second id
+        lookup.  ``state`` must be device-resident (obtained via :meth:`sequence`).
+        """
         if num_tokens < 0:
             raise ValueError("num_tokens must be non-negative")
-        needed = self.blocks_needed_to_extend(seq_id, num_tokens)
+        seq_id = state.seq_id
+        blocks = state.blocks
+        block_tokens = self.config.block_tokens
+        # max(0, blocks_for_tokens(num_tokens + growth) - held): integer form of the
+        # public blocks_needed_to_extend, minus the per-call lookups.
+        needed = (state.num_tokens + num_tokens + block_tokens - 1) // block_tokens - len(blocks)
+        if needed < 0:
+            needed = 0
         copy_tail = (
             num_tokens > 0
-            and bool(state.blocks)
-            and self._ref_counts[state.blocks[-1]] > 1
-            and state.num_tokens % self.config.block_tokens != 0
+            and bool(blocks)
+            and self._ref_counts[blocks[-1]] > 1
+            and state.num_tokens % block_tokens != 0
         )
-        if needed + (1 if copy_tail else 0) > self.num_free_blocks:
+        free = self._free_blocks
+        if needed + (1 if copy_tail else 0) > len(free):
             raise KvCacheOutOfMemory(
                 f"sequence {seq_id} needs {needed + (1 if copy_tail else 0)} blocks to grow "
-                f"by {num_tokens} tokens, only {self.num_free_blocks} free"
+                f"by {num_tokens} tokens, only {len(free)} free"
             )
         if copy_tail:
             # The partially filled tail is shared with a fork: copy before writing into it.
-            shared_tail = state.blocks[-1]
-            state.blocks[-1] = self._alloc_block()
+            shared_tail = blocks[-1]
+            blocks[-1] = self._alloc_block()
             self._release_block(shared_tail)
-        state.blocks.extend(self._alloc_block() for _ in range(needed))
+        if needed:
+            fresh = free[-needed:]
+            del free[-needed:]
+            ref_counts = self._ref_counts
+            for block in fresh:
+                ref_counts[block] = 1
+            blocks.extend(fresh)
         state.num_tokens += num_tokens
         return state
+
+    def grow_states(self, states: List[SequenceState], num_tokens: int) -> None:
+        """Grow several resident *unforked* sequences by the same token count.
+
+        The fast-forward bulk path: one call grows a whole decode batch by ``num_tokens``
+        tokens each, with the block math inlined per sequence.  The caller guarantees no
+        sequence shares blocks with a fork (the scheduler's pool never forks), so the
+        copy-on-write tail check is skipped; allocation remains all-or-nothing per
+        sequence, and callers pre-check total demand so exhaustion cannot strike midway.
+        """
+        if num_tokens < 0:
+            raise ValueError("num_tokens must be non-negative")
+        free = self._free_blocks
+        ref_counts = self._ref_counts
+        block_tokens = self.config.block_tokens
+        for state in states:
+            blocks = state.blocks
+            needed = (
+                (state.num_tokens + num_tokens + block_tokens - 1) // block_tokens
+                - len(blocks)
+            )
+            if needed > 0:
+                if needed > len(free):
+                    raise KvCacheOutOfMemory(
+                        f"sequence {state.seq_id} needs {needed} blocks to grow by "
+                        f"{num_tokens} tokens, only {len(free)} free"
+                    )
+                fresh = free[-needed:]
+                del free[-needed:]
+                for block in fresh:
+                    ref_counts[block] = 1
+                blocks.extend(fresh)
+            state.num_tokens += num_tokens
 
     def truncate_sequence(self, seq_id: int, num_tokens: int) -> SequenceState:
         """Shrink a resident sequence to ``num_tokens``, releasing now-unused blocks."""
@@ -280,7 +344,19 @@ class PagedKvCache:
         """Release a finished sequence (device- or host-resident); returns blocks freed."""
         state = self._sequences.pop(seq_id, None)
         if state is not None:
-            return sum(self._release_block(block) for block in state.blocks)
+            # Inlined _release_block loop: freeing runs once per completed request but
+            # walks every block the sequence ever allocated.
+            ref_counts = self._ref_counts
+            returned = []
+            for block in state.blocks:
+                remaining = ref_counts[block] - 1
+                if remaining == 0:
+                    del ref_counts[block]
+                    returned.append(block)
+                else:
+                    ref_counts[block] = remaining
+            self._free_blocks.extend(returned)
+            return len(returned)
         swapped = self._swapped.pop(seq_id, None)
         if swapped is not None:
             self._free_host_blocks.extend(swapped.blocks)

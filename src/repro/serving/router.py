@@ -10,7 +10,8 @@ answers two questions:
   (disaggregated mode only: the decode pool, after the KV handoff).
 
 Policies see replicas as read-only load surfaces: each candidate exposes
-``replica_id`` plus its scheduler's ``outstanding_tokens`` (queued + in-flight work),
+``replica_id`` plus its scheduler's ``outstanding_tokens`` (queued + in-flight work,
+maintained incrementally by the scheduler so polling it per dispatch is O(1) per replica),
 ``kv_load`` (device pool utilization), ``num_resident`` and ``queue_depth``.  Ties always
 break on ``replica_id`` so simulations stay deterministic.
 

@@ -43,6 +43,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from .engine import PrefillChunk, ServingEngine, peak_resident_tokens
 from .kvcache import KvCacheOutOfMemory, PagedKvCache
 from .metrics import SloReport, SloSpec, compute_slo_report
@@ -56,9 +58,16 @@ from .policies import (
 __all__ = ["Request", "SchedulerStats", "ContinuousBatchingScheduler"]
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class Request:
-    """One inference request."""
+    """One inference request.
+
+    Requests are mutable identity-bearing objects the scheduler tracks through queues, so
+    equality is *identity* (``eq=False``): membership tests against the resident lists must
+    never walk every field of every request per comparison.  ``slots=True`` cuts the
+    per-request memory and attribute-access cost on the million-request traces the
+    simulator targets; compare requests field-by-field where value equality is needed.
+    """
 
     request_id: int
     prompt_tokens: int
@@ -180,6 +189,7 @@ class ContinuousBatchingScheduler:
         kv_budget_bytes: Optional[int] = None,
         host_kv_budget_bytes: Optional[int] = None,
         overlap_swap_transfers: bool = False,
+        fast_forward: bool = True,
     ):
         self.engine = engine
         if not engine.supported:
@@ -214,6 +224,11 @@ class ContinuousBatchingScheduler:
         self.scheduling_policy = get_scheduling_policy(scheduling_policy)
         self.preemption_policy = get_preemption_policy(preemption_policy)
         self.overlap_swap_transfers = overlap_swap_transfers
+        #: Analytic decode fast-forward: :meth:`run` (and the cluster driver) may advance a
+        #: steady decode-only phase in one closed-form jump instead of looping
+        #: :meth:`step`.  Bit-identical either way — the flag exists for equivalence tests
+        #: and for callers that want to drive every iteration explicitly.
+        self.fast_forward_enabled = fast_forward
         self.begin()
 
     # ------------------------------------------------------------------ internals
@@ -269,6 +284,7 @@ class ContinuousBatchingScheduler:
         self._clock = clock
         self._pending_transfer_s = 0.0
         self._generated_tokens = 0
+        self._outstanding_tokens = 0
         self._peak_batch = 0
         self._peak_util = 0.0
         self._peak_host_util = 0.0
@@ -296,7 +312,16 @@ class ContinuousBatchingScheduler:
     # ---- load metrics read by router policies (cheap, side-effect free).
     @property
     def outstanding_tokens(self) -> int:
-        """Total tokens of work queued or in flight on this replica."""
+        """Total tokens of work queued or in flight on this replica.
+
+        Maintained incrementally on submit / step / preempt / finish, so a cluster router
+        polling every replica per dispatch costs O(replicas), not O(resident requests).
+        """
+        return self._outstanding_tokens
+
+    def _outstanding_tokens_scan(self) -> int:
+        """O(n) recount of :attr:`outstanding_tokens` — the invariant tests pin the
+        incremental counter against."""
         queues = (
             [r for _, _, r in self._waiting],
             [r for _, _, r in self._imported],
@@ -329,6 +354,7 @@ class ContinuousBatchingScheduler:
         request.reset_scheduler_state()
         if now is not None:
             self._clock = max(self._clock, now)
+        self._outstanding_tokens += request.remaining_tokens()
         self._push_waiting(request)
 
     def submit_resumed(self, request: Request, now: Optional[float] = None) -> None:
@@ -342,6 +368,7 @@ class ContinuousBatchingScheduler:
         self._check_servable(request)
         if now is not None:
             self._clock = max(self._clock, now)
+        self._outstanding_tokens += request.remaining_tokens()
         if request.imported_kv_tokens > 0:
             heapq.heappush(
                 self._imported,
@@ -454,8 +481,10 @@ class ContinuousBatchingScheduler:
             # tokens themselves are kept — recompute only rebuilds KV.
             self.kv_cache.free_sequence(victim.request_id)
             self._recompute_count += 1
+            before = victim.remaining_tokens()
             victim.prefilled = 0
             victim.prefill_target = victim.prompt_tokens + max(0, victim.generated - 1)
+            self._outstanding_tokens += victim.remaining_tokens() - before
             self._push_waiting(victim)
         return True
 
@@ -484,15 +513,21 @@ class ContinuousBatchingScheduler:
                 break  # wait for decode churn / completions to free device blocks
             heapq.heappop(self._imported)
             self.kv_cache.add_sequence(request.request_id, request.imported_kv_tokens)
+            # Landing collapses the request's notional local re-prefill (the full prompt)
+            # into already-transferred KV: its remaining work shrinks accordingly.
+            before = request.remaining_tokens()
             request.prefilled = request.prefill_target = request.imported_kv_tokens
+            self._outstanding_tokens += request.remaining_tokens() - before
             self._running.append(request)
 
         # ---- swap sequences back in while the device pool has headroom: one spare
         # block per running sequence for this iteration's decode slot plus every
         # blocks a resident prefill needs for its next chunk.  Reserving the prefill
         # chunks is what prevents livelock: a swap-in must never reclaim the blocks a
-        # no-progress eviction just freed for a blocked prefill.
-        if self._swapped:
+        # no-progress eviction just freed for a blocked prefill.  With zero free blocks
+        # no candidate can land (every swapped sequence holds >= 1 block), so the sorted
+        # scan is skipped outright.
+        if self._swapped and self.kv_cache.num_free_blocks > 0:
             def next_chunk_blocks(r: Request) -> int:
                 take = min(r.prefill_target - r.prefilled, self.prefill_chunk_tokens)
                 if take <= 0:
@@ -518,23 +553,37 @@ class ContinuousBatchingScheduler:
 
         # ---- reserve one decode slot per running sequence, preempting on exhaustion.
         preemptions_before_iteration = self._preemption_count
-        reserved_context: Dict[int, int] = {}
-        for request in list(self._running):
-            if request not in self._running:
-                continue  # evicted while making room for an earlier sequence
-            while True:
-                context = self.kv_cache.sequence(request.request_id).num_tokens
-                try:
-                    self.kv_cache.append_token(request.request_id)
-                    reserved_context[request.request_id] = context
-                    break
-                except KvCacheOutOfMemory:
-                    if not self._preempt_one(exclude=request):  # pragma: no cover - guarded
-                        raise RuntimeError(
-                            "KV pool too small for a single request despite admission guard"
-                        )
-        # Victims evicted after reserving their slot must not be charged (or decoded).
-        contexts = [reserved_context[r.request_id] for r in self._running]
+        kv = self.kv_cache
+        if kv.num_free_blocks >= len(self._running):
+            # Ample headroom: each append allocates at most one block, so no reservation
+            # can fail and no victim can be evicted — skip the guarded path entirely.
+            contexts = []
+            for request in self._running:
+                state = kv.sequence(request.request_id)
+                contexts.append(state.num_tokens)
+                kv.extend_state(state, 1)
+        else:
+            reserved_context: Dict[int, int] = {}
+            for request in list(self._running):
+                if (
+                    self._preemption_count != preemptions_before_iteration
+                    and request not in self._running
+                ):
+                    continue  # evicted while making room for an earlier sequence
+                while True:
+                    state = kv.sequence(request.request_id)
+                    context = state.num_tokens
+                    try:
+                        kv.extend_state(state, 1)
+                        reserved_context[request.request_id] = context
+                        break
+                    except KvCacheOutOfMemory:
+                        if not self._preempt_one(exclude=request):  # pragma: no cover - guarded
+                            raise RuntimeError(
+                                "KV pool too small for a single request despite admission guard"
+                            )
+            # Victims evicted after reserving their slot must not be charged (or decoded).
+            contexts = [reserved_context[r.request_id] for r in self._running]
         decode_batch = len(contexts)
 
         # ---- plan chunked prefill under the iteration token budget.
@@ -615,6 +664,7 @@ class ContinuousBatchingScheduler:
 
         # ---- decode bookkeeping: every running sequence emitted one token.
         still_running: List[Request] = []
+        self._outstanding_tokens -= len(self._running)
         for request in self._running:
             request.generated += 1
             self._generated_tokens += 1
@@ -627,6 +677,7 @@ class ContinuousBatchingScheduler:
         # ---- prefill bookkeeping: advance chunks; completed prefills start decoding.
         for request, chunk in chunks:
             request.prefilled += chunk.tokens
+            self._outstanding_tokens -= chunk.tokens
             if request.prefilled < request.prefill_target:
                 continue
             self._prefilling.remove(request)
@@ -634,12 +685,156 @@ class ContinuousBatchingScheduler:
                 request.first_token_time_s = self._clock
                 request.generated += 1
                 self._generated_tokens += 1
+                self._outstanding_tokens -= 1
             if request.finished:
                 self._finish(request)
             else:
                 self._running.append(request)
 
         self._peak_batch = max(self._peak_batch, decode_batch + len(chunks))
+
+    # ------------------------------------------------------------------ fast-forward
+    @property
+    def in_steady_decode(self) -> bool:
+        """True when the next iterations are pure ragged decode over a fixed batch.
+
+        That is the state analytic fast-forward can advance in closed form: no pending
+        admission, prefill, import, or swap work, no parked overlap transfer, and the KV
+        pool holding exactly the running sequences (a replaced pool with foreign residents
+        falls back to stepwise execution).
+        """
+        return bool(
+            self._running
+            and not self._waiting
+            and not self._imported
+            and not self._prefilling
+            and not self._swapped
+            and self._pending_transfer_s == 0.0
+            and self.kv_cache.num_sequences == len(self._running)
+        )
+
+    def fast_forward(self, stop_before: Optional[float] = None) -> int:
+        """Advance a steady decode-only phase in one closed-form jump.
+
+        Computes the number of iterations until the next state-changing event — the
+        earliest request completion, the KV allocation that would exhaust the pool, or the
+        driver's horizon ``stop_before`` (the next arrival / cluster event: only iterations
+        *starting* strictly before it may run, matching the stepwise drivers) — prices them
+        in one vectorized evaluation of the decode cost model, and applies all clock, KV,
+        and stats bookkeeping at once.  Bit-identical to calling :meth:`step` that many
+        times: the per-iteration times come from the same memoized closed form, and the
+        clock is accumulated by the same sequential float additions (``np.cumsum``).
+
+        Returns the number of iterations advanced; 0 means the caller must take the
+        stepwise path (not in steady decode, fast-forward disabled, or the very next
+        iteration needs KV the pool cannot supply — i.e. preemption is imminent).
+        """
+        if not self.fast_forward_enabled or not self.in_steady_decode:
+            return 0
+        kv = self.kv_cache
+        block_tokens = kv.config.block_tokens
+        advanced = 0
+        # One call chains through *every* decode-only segment up to the horizon: a
+        # completion shrinks the batch but leaves the phase steady, so the loop re-plans
+        # with the survivors instead of bouncing back through the driver per finisher.
+        while self._running:
+            if stop_before is not None and not self._clock < stop_before:
+                break
+            running = self._running
+            batch = len(running)
+            states = [kv.sequence(r.request_id) for r in running]
+
+            # ---- completion horizon: the k-th iteration emits the earliest finisher's
+            # last token; no request can leave the batch before that.
+            k = min(r.output_tokens - r.generated for r in running)
+
+            # ---- KV horizon: growing every sequence by k tokens must fit the free pool
+            # (block-boundary crossings are the only allocations while decoding).  A
+            # cheap worst-case bound (every sequence one boundary past ceil(k/bt))
+            # usually proves the pool is ample without touching the per-sequence counts.
+            free_blocks = kv.num_free_blocks
+            if batch * ((k + block_tokens - 1) // block_tokens + 1) > free_blocks:
+                contexts = np.array([s.num_tokens for s in states], dtype=np.int64)
+                held_blocks = np.array([s.num_blocks for s in states], dtype=np.int64)
+
+                def blocks_demanded(iterations: int) -> int:
+                    grown = (contexts + iterations + block_tokens - 1) // block_tokens
+                    return int(np.maximum(grown - held_blocks, 0).sum())
+
+                if blocks_demanded(k) > free_blocks:
+                    lo, hi = 0, k  # invariant: demand(lo) <= free < demand(hi)
+                    if blocks_demanded(0) > free_blocks:  # pragma: no cover - defensive
+                        break
+                    while hi - lo > 1:
+                        mid = (lo + hi) // 2
+                        if blocks_demanded(mid) <= free_blocks:
+                            lo = mid
+                        else:
+                            hi = mid
+                    k = lo
+                    if k == 0:
+                        break  # next allocation OOMs: step() runs the preemption path
+
+            # ---- price iterations 1..k (iteration i sums context T0 + (i-1)*batch)
+            # and find where the running clock crosses stop_before: only iterations
+            # *starting* strictly before it may run (the stepwise drivers hand control
+            # back the moment the clock reaches the horizon).  Both paths accumulate
+            # the clock by the same sequential float additions as stepwise `step()`;
+            # short segments stay scalar (and feed the memo cache), long ones go
+            # through one vectorized evaluation + cumsum.
+            total0 = sum(s.num_tokens for s in states)
+            completes = True
+            if k <= 16:
+                engine = self.engine
+                clock = self._clock
+                done = 0
+                while done < k:
+                    if stop_before is not None and not clock < stop_before:
+                        completes = False
+                        break
+                    clock += engine.decode_iteration_time(
+                        batch, total0 + done * batch
+                    )
+                    done += 1
+                k = done
+                if k == 0:
+                    break  # pragma: no cover - guarded by the entry clock check
+                new_clock = clock
+            else:
+                totals = total0 + np.arange(k, dtype=np.int64) * batch
+                times = self.engine.decode_iteration_times(batch, totals)
+                clocks = np.cumsum(np.concatenate(([self._clock], times)))
+                if stop_before is not None:
+                    cut = int(np.searchsorted(clocks[:k], stop_before, side="left"))
+                    if cut < k:
+                        k, completes = cut, False
+                new_clock = float(clocks[k])
+
+            # ---- apply: grow KV, advance the clock, emit k tokens per sequence,
+            # retire finishers — the same end state k stepwise iterations leave behind.
+            kv.grow_states(states, k)
+            self._peak_util = max(self._peak_util, kv.utilization())
+            self._peak_host_util = max(self._peak_host_util, kv.host_utilization())
+            self._peak_batch = max(self._peak_batch, batch)
+            self._clock = new_clock
+            self._num_iterations += k
+            self._generated_tokens += k * batch
+            self._outstanding_tokens -= k * batch
+            advanced += k
+            if completes:
+                still_running: List[Request] = []
+                for request in running:
+                    request.generated += k
+                    if request.finished:
+                        self._finish(request)
+                    else:
+                        still_running.append(request)
+                self._running = still_running
+            else:
+                for request in running:
+                    request.generated += k
+                break  # horizon reached mid-segment: nothing finished, hand back
+        return advanced
 
     # ------------------------------------------------------------------ simulation
     def run(self, requests: Sequence[Request]) -> SchedulerStats:
@@ -667,6 +862,10 @@ class ContinuousBatchingScheduler:
                 self.submit(heapq.heappop(arrivals)[2])
             if not self.has_work:
                 self._clock = arrivals[0][0]
+                continue
+            # ---- steady decode-only phases jump to the next event (arrival, earliest
+            # completion, KV exhaustion) in closed form; everything else steps.
+            if self.fast_forward(arrivals[0][0] if arrivals else None):
                 continue
             self.step()
 

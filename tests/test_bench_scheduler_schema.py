@@ -67,6 +67,32 @@ class TestBenchSchema:
         assert disagg["kv_handoff_s"] > 0.0
         assert payload["cluster_ab"]["configs"]["colocated"]["kv_handoffs"] == 0
 
+    def test_scale_sections_run_the_advertised_workloads(self, bench, payload):
+        """The fast-forward stress sections must stay at full size (they are identical in
+        fast and full mode — analytic fast-forward is what makes them tractable) and must
+        actually drain their traces."""
+        scale = payload["scale"]
+        assert scale["trace"]["workload"]["num_requests"] == bench.SCALE_TRACE_REQUESTS
+        assert scale["trace"]["simulated"]["completed_requests"] == bench.SCALE_TRACE_REQUESTS
+        assert scale["cluster"]["workload"]["num_replicas"] == bench.SCALE_CLUSTER_REPLICAS
+        assert scale["cluster"]["workload"]["num_requests"] == bench.SCALE_CLUSTER_REQUESTS
+        assert scale["cluster"]["summary"]["completed_requests"] == bench.SCALE_CLUSTER_REQUESTS
+        for section in (scale["trace"], scale["cluster"]):
+            assert section["harness"]["wall_time_s"] > 0.0
+            assert section["harness"]["iterations_per_s"] > 0.0
+
+    def test_committed_trajectory_records_fast_forward_speedup(self, payload):
+        """PR-4's acceptance criterion, pinned against the committed trajectory: the
+        fast-forward simulator clears 10x the PR-3 scheduler iteration rate (14,831 it/s)
+        on the unchanged trace_simulation workload."""
+        assert payload["trace_simulation"]["harness"]["iterations_per_s"] >= 10 * 14831.5
+        # The simulated numbers must be exactly the PR-3 model's: fast-forward changes
+        # wall time, never results.
+        simulated = payload["trace_simulation"]["simulated"]
+        assert simulated["generated_tokens"] == 124446
+        assert simulated["throughput_tokens_per_s"] == 4410.5
+        assert simulated["iterations"] == 9626
+
     def test_validator_rejects_mutations(self, bench, payload):
         broken = json.loads(json.dumps(payload))
         del broken["preemption_ab"]["hybrid_goodput_ge_recompute"]

@@ -1,0 +1,358 @@
+"""Fast-forward vs. stepwise equivalence: the contract the perf work must never break.
+
+Analytic decode fast-forward (`ContinuousBatchingScheduler.fast_forward`) exists purely to
+make the simulator faster; it must be *bit-identical* to looping `step()` — every clock,
+every stat, every per-request timestamp.  These tests pin that equivalence:
+
+* a hypothesis property test drives randomized traces (arrival patterns, long-tail lengths,
+  KV budgets tight enough to force preemption, every preemption/scheduling policy) through
+  both execution modes and asserts identical `SchedulerStats`, identical per-request
+  `RequestMetrics`, and identical final clocks;
+* cluster-level tests do the same for co-located and disaggregated fleets;
+* unit tests cover the fast path's decision points (steady-state detection, the horizon
+  cut, the KV-exhaustion bailout) and the incremental `outstanding_tokens` counter.
+"""
+
+import copy
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import simulate_cluster, simulate_serving
+from repro.quant.kvcache import kv_bytes_per_element
+from repro.serving.attention import decode_attention_cost_from_totals
+from repro.serving.engine import ServingEngine
+from repro.serving.metrics import request_metrics
+from repro.serving.scheduler import ContinuousBatchingScheduler, Request
+from repro.workloads.traces import (
+    SHAREGPT_OUTPUTS,
+    SHAREGPT_PROMPTS,
+    ArrivalProcess,
+    generate_trace,
+)
+
+MB = 2**20
+GB = 2**30
+
+
+def _request_fields(request):
+    return {f.name: getattr(request, f.name) for f in dataclasses.fields(Request)}
+
+
+def assert_stats_identical(stepwise, fast):
+    """Every field of two SchedulerStats must match bit-for-bit (requests by id)."""
+    for f in dataclasses.fields(stepwise):
+        if f.name == "requests":
+            continue
+        assert getattr(stepwise, f.name) == getattr(fast, f.name), (
+            f"SchedulerStats.{f.name}: "
+            f"{getattr(stepwise, f.name)!r} != {getattr(fast, f.name)!r}"
+        )
+    lhs = sorted(stepwise.requests, key=lambda r: r.request_id)
+    rhs = sorted(fast.requests, key=lambda r: r.request_id)
+    assert len(lhs) == len(rhs)
+    for a, b in zip(lhs, rhs):
+        assert _request_fields(a) == _request_fields(b)
+    # Per-request latency decompositions (frozen dataclasses: == is field equality).
+    assert sorted(request_metrics(lhs), key=lambda m: m.request_id) == sorted(
+        request_metrics(rhs), key=lambda m: m.request_id
+    )
+
+
+def _run(trace, fast_forward, **kwargs):
+    scheduler = ContinuousBatchingScheduler(
+        ServingEngine("liquidserve", "llama2-7b"),
+        fast_forward=fast_forward,
+        **kwargs,
+    )
+    stats = scheduler.run([copy.copy(r) for r in trace])
+    return scheduler, stats
+
+
+@st.composite
+def random_traces(draw):
+    n = draw(st.integers(min_value=1, max_value=18))
+    requests = []
+    for i in range(n):
+        requests.append(
+            Request(
+                request_id=i,
+                prompt_tokens=draw(st.integers(min_value=1, max_value=600)),
+                output_tokens=draw(st.integers(min_value=1, max_value=60)),
+                arrival_time_s=draw(
+                    st.floats(
+                        min_value=0.0, max_value=2.0,
+                        allow_nan=False, allow_infinity=False,
+                    )
+                ),
+                priority=draw(st.integers(min_value=0, max_value=3)),
+            )
+        )
+    return requests
+
+
+class TestSchedulerEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        trace=random_traces(),
+        kv_budget=st.sampled_from([256 * MB, 512 * MB, 2 * GB, None]),
+        host_budget=st.sampled_from([0, 512 * MB]),
+        preemption=st.sampled_from(["recompute", "swap", "hybrid"]),
+        scheduling=st.sampled_from(["fcfs", "priority", "sjf", "fairness"]),
+        overlap=st.booleans(),
+    )
+    def test_random_traces_bit_identical(
+        self, trace, kv_budget, host_budget, preemption, scheduling, overlap
+    ):
+        kwargs = dict(
+            kv_budget_bytes=kv_budget,
+            host_kv_budget_bytes=host_budget,
+            preemption_policy=preemption,
+            scheduling_policy=scheduling,
+            overlap_swap_transfers=overlap,
+        )
+        sched_a, stepwise = _run(trace, fast_forward=False, **kwargs)
+        sched_b, fast = _run(trace, fast_forward=True, **kwargs)
+        assert sched_a.clock == sched_b.clock  # final virtual clocks, bit for bit
+        assert_stats_identical(stepwise, fast)
+
+    def test_sharegpt_trace_bit_identical(self):
+        trace = generate_trace(
+            120, ArrivalProcess(rate_rps=20.0), SHAREGPT_PROMPTS, SHAREGPT_OUTPUTS,
+            seed=7,
+        )
+        sched_a, stepwise = _run(trace, fast_forward=False)
+        sched_b, fast = _run(trace, fast_forward=True)
+        assert sched_a.clock == sched_b.clock
+        assert_stats_identical(stepwise, fast)
+        assert fast.num_iterations > 1000  # the jump accounting must count them all
+
+    def test_kv_constrained_trace_bit_identical(self):
+        """Preemption churn interleaves with decode phases; jumps must stop at OOM."""
+        trace = generate_trace(
+            60, ArrivalProcess(rate_rps=20.0), SHAREGPT_PROMPTS, SHAREGPT_OUTPUTS,
+            seed=3,
+        )
+        kwargs = dict(kv_budget_bytes=GB, host_kv_budget_bytes=GB,
+                      preemption_policy="hybrid")
+        _, stepwise = _run(trace, fast_forward=False, **kwargs)
+        _, fast = _run(trace, fast_forward=True, **kwargs)
+        assert stepwise.preemptions > 0  # the scenario actually exercises preemption
+        assert_stats_identical(stepwise, fast)
+
+    def test_simulate_serving_flag_threads_through(self):
+        kwargs = dict(num_requests=40, arrival_rate_rps=25.0, seed=5)
+        fast = simulate_serving("liquidserve", "llama2-7b", **kwargs)
+        slow = simulate_serving(
+            "liquidserve", "llama2-7b", fast_forward=False, **kwargs
+        )
+        assert fast.stats.simulated_time_s == slow.stats.simulated_time_s
+        assert fast.stats.num_iterations == slow.stats.num_iterations
+        assert fast.slo == slow.slo
+
+
+class TestFastForwardUnit:
+    def _steady_scheduler(self, num_requests=3, output_tokens=50):
+        scheduler = ContinuousBatchingScheduler(
+            ServingEngine("liquidserve", "llama2-7b"), fast_forward=True
+        )
+        for i in range(num_requests):
+            scheduler.submit(Request(request_id=i, prompt_tokens=64,
+                                     output_tokens=output_tokens))
+        while not scheduler.in_steady_decode:
+            scheduler.step()
+        return scheduler
+
+    def test_not_applicable_returns_zero(self):
+        scheduler = ContinuousBatchingScheduler(
+            ServingEngine("liquidserve", "llama2-7b")
+        )
+        assert scheduler.fast_forward() == 0  # idle: nothing to advance
+        scheduler.submit(Request(request_id=0, prompt_tokens=32, output_tokens=4))
+        assert not scheduler.in_steady_decode  # prefill pending
+        assert scheduler.fast_forward() == 0
+
+    def test_disabled_scheduler_never_jumps(self):
+        scheduler = ContinuousBatchingScheduler(
+            ServingEngine("liquidserve", "llama2-7b"), fast_forward=False
+        )
+        scheduler.submit(Request(request_id=0, prompt_tokens=32, output_tokens=8))
+        while not scheduler.in_steady_decode:
+            scheduler.step()
+        assert scheduler.fast_forward() == 0
+
+    def test_jump_matches_stepwise_twin(self):
+        fast = self._steady_scheduler()
+        step = self._steady_scheduler()
+        advanced = fast.fast_forward()
+        assert advanced > 0
+        for _ in range(advanced):
+            step.step()
+        assert fast.clock == step.clock
+        assert_stats_identical(step.stats(), fast.stats())
+
+    def test_stop_before_bounds_the_jump(self):
+        probe = self._steady_scheduler()
+        full = probe.fast_forward()
+        assert full > 1
+        horizon_clock = probe.clock
+
+        fast = self._steady_scheduler()
+        start = fast.clock
+        horizon = start + (horizon_clock - start) * 0.25
+        advanced = fast.fast_forward(stop_before=horizon)
+        assert 0 < advanced < full
+        # Every advanced iteration started before the horizon; the next would not have.
+        step = self._steady_scheduler()
+        for _ in range(advanced - 1):
+            step.step()
+        assert step.clock < horizon
+        step.step()
+        assert step.clock == fast.clock
+        assert step.clock >= horizon or advanced == full
+
+    def test_horizon_already_passed_returns_zero(self):
+        scheduler = self._steady_scheduler()
+        assert scheduler.fast_forward(stop_before=scheduler.clock) == 0
+
+    def test_completion_retires_requests_and_frees_blocks(self):
+        scheduler = self._steady_scheduler(num_requests=2, output_tokens=10)
+        advanced = scheduler.fast_forward()
+        assert advanced > 0
+        assert not scheduler.has_work  # both finished inside the chained jump
+        assert scheduler.kv_cache.num_used_blocks == 0
+        stats = scheduler.stats()
+        assert stats.completed_requests == 2
+        assert stats.generated_tokens == 20
+
+
+class TestDecodeCostClosedForm:
+    """Pin the engine's hoisted decode closed form to the attention module's formula.
+
+    ``_decode_step_core`` restates the arithmetic of
+    :func:`decode_attention_cost_from_totals` with hoisted scalars for speed; if either
+    side drifts (a formula tweak, a changed bandwidth-efficiency default), decode-only
+    iterations would silently diverge from mixed decode+prefill iterations.  Exact
+    equality here makes that drift a test failure."""
+
+    @pytest.mark.parametrize("system,model,tp", [
+        ("liquidserve", "llama2-7b", 1),
+        ("trt-fp16", "llama2-13b", 1),
+        ("liquidserve", "llama2-70b", 4),
+    ])
+    def test_decode_iteration_time_matches_attention_module(self, system, model, tp):
+        engine = ServingEngine(system, model, tp_degree=tp)
+        for batch, total in [(1, 1), (7, 4096), (29, 29 * 800)]:
+            attention = decode_attention_cost_from_totals(
+                engine.model,
+                engine.device.spec,
+                batch,
+                float(total),
+                kv_bytes_per_element(engine.system.kv_format),
+                attention_efficiency=engine.system.attention_efficiency,
+                tp_degree=tp,
+            ).total
+            per_layer = (
+                engine.layer_gemm_time(batch)
+                + attention
+                + engine.layer_others_time(batch)
+                + 2.0 * engine.allreduce_time(batch)
+            )
+            expected = per_layer * engine.model.num_layers + engine.lm_head_time(batch)
+            assert engine.decode_iteration_time(batch, total) == expected
+            # ...and the vectorized form agrees element-wise, bit for bit.
+            assert float(engine.decode_iteration_times(batch, [total])[0]) == expected
+
+
+class TestOutstandingTokensCounter:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        trace=random_traces(),
+        kv_budget=st.sampled_from([256 * MB, GB, None]),
+        preemption=st.sampled_from(["recompute", "swap", "hybrid"]),
+    )
+    def test_counter_matches_scan_at_every_step(self, trace, kv_budget, preemption):
+        scheduler = ContinuousBatchingScheduler(
+            ServingEngine("liquidserve", "llama2-7b"),
+            kv_budget_bytes=kv_budget,
+            host_kv_budget_bytes=GB,
+            preemption_policy=preemption,
+            fast_forward=False,
+        )
+        for request in sorted(trace, key=lambda r: r.arrival_time_s):
+            scheduler.submit(copy.copy(request))
+            assert scheduler.outstanding_tokens == scheduler._outstanding_tokens_scan()
+        while scheduler.has_work:
+            scheduler.step()
+            assert scheduler.outstanding_tokens == scheduler._outstanding_tokens_scan()
+        assert scheduler.outstanding_tokens == 0
+
+    def test_counter_tracks_fast_forward_jumps(self):
+        scheduler = ContinuousBatchingScheduler(
+            ServingEngine("liquidserve", "llama2-7b")
+        )
+        scheduler.submit(Request(request_id=0, prompt_tokens=64, output_tokens=30))
+        while not scheduler.in_steady_decode:
+            scheduler.step()
+            assert scheduler.outstanding_tokens == scheduler._outstanding_tokens_scan()
+        assert scheduler.fast_forward() > 0
+        assert scheduler.outstanding_tokens == scheduler._outstanding_tokens_scan() == 0
+
+
+class TestClusterEquivalence:
+    @pytest.mark.parametrize("router", ["round-robin", "least-tokens", "least-kv"])
+    def test_colocated_cluster_bit_identical(self, router):
+        kwargs = dict(
+            mode="colocated", num_replicas=3, router=router,
+            num_requests=60, arrival_rate_rps=40.0, seed=11,
+        )
+        fast = simulate_cluster("liquidserve", "llama2-7b", **kwargs)
+        slow = simulate_cluster(
+            "liquidserve", "llama2-7b", fast_forward=False, **kwargs
+        )
+        assert fast.result.simulated_time_s == slow.result.simulated_time_s
+        assert fast.result.generated_tokens == slow.result.generated_tokens
+        assert fast.result.completed_requests == slow.result.completed_requests
+        for a, b in zip(fast.replica_stats, slow.replica_stats):
+            assert_stats_identical(b, a)
+        # The merged request order is canonical, so the order-sensitive float sums of the
+        # cluster-level SLO report (and the per-request list itself) match bit for bit —
+        # not just after sorting.
+        assert fast.slo == slow.slo
+        assert fast.per_request == slow.per_request
+        assert [r.request_id for r in fast.result.requests] == [
+            r.request_id for r in slow.result.requests
+        ]
+
+    def test_disaggregated_cluster_bit_identical(self):
+        kwargs = dict(
+            mode="disaggregated", num_prefill_replicas=1, num_decode_replicas=2,
+            num_requests=50, arrival_rate_rps=30.0, seed=13,
+        )
+        fast = simulate_cluster("liquidserve", "llama2-7b", **kwargs)
+        slow = simulate_cluster(
+            "liquidserve", "llama2-7b", fast_forward=False, **kwargs
+        )
+        assert fast.result.simulated_time_s == slow.result.simulated_time_s
+        assert fast.result.kv_handoffs == slow.result.kv_handoffs
+        assert fast.result.kv_handoff_s == slow.result.kv_handoff_s
+        for a, b in zip(fast.replica_stats, slow.replica_stats):
+            assert_stats_identical(b, a)
+        assert fast.slo == slow.slo
+        assert fast.per_request == slow.per_request
+
+    def test_colocated_cluster_merged_slo_bit_identical_under_load(self):
+        """The regression scenario from review: a jumping replica used to drain a whole
+        batch of completions past other replicas' clocks, reordering the merged
+        population and flipping the last ULP of its mean latencies."""
+        kwargs = dict(
+            mode="colocated", num_replicas=3, router="least-tokens",
+            num_requests=80, arrival_rate_rps=60.0, seed=11,
+        )
+        fast = simulate_cluster("liquidserve", "llama2-7b", **kwargs)
+        slow = simulate_cluster(
+            "liquidserve", "llama2-7b", fast_forward=False, **kwargs
+        )
+        assert fast.slo == slow.slo
+        assert fast.slo.mean_latency_s == slow.slo.mean_latency_s

@@ -32,6 +32,60 @@ class TestPercentileProperty:
         with pytest.raises(ValueError):
             percentile([1.0], -1.0)
 
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=50,
+        ),
+        q=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_sorted_values_fast_path_matches(self, values, q):
+        """percentile(sorted, sorted_values=True) is the sort-once fast path — it must
+        agree exactly with the sorting call on the unsorted population."""
+        assert percentile(sorted(values), q, sorted_values=True) == percentile(values, q)
+
+
+class TestSortOnceSloReport:
+    """Regression pin for the sort-once slo_report: identical to per-call sorting."""
+
+    def _population(self, seed, n=40):
+        rng = np.random.default_rng(seed)
+        requests = []
+        clock = 0.0
+        for i in range(n):
+            arrival = clock
+            clock += float(rng.exponential(0.05))
+            first = arrival + float(rng.exponential(0.2))
+            out_tokens = int(rng.integers(1, 50))
+            done = first + out_tokens * float(rng.exponential(0.01))
+            requests.append(Request(
+                request_id=i, prompt_tokens=16, output_tokens=out_tokens,
+                arrival_time_s=arrival, first_scheduled_time_s=arrival,
+                first_token_time_s=first, completion_time_s=done,
+            ))
+        return requests
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_report_matches_per_call_sorting_reference(self, seed):
+        requests = self._population(seed)
+        report = compute_slo_report(requests, makespan_s=100.0)
+        metrics = request_metrics(requests)
+        ttfts = [m.ttft_s for m in metrics]
+        tpots = [m.tpot_s for m in metrics if m.output_tokens > 1]
+        latencies = [m.latency_s for m in metrics]
+        # The historical implementation: unsorted populations, percentile sorts per call
+        # and the means sum in completion order.
+        assert report.mean_ttft_s == sum(ttfts) / len(ttfts)
+        assert report.p50_ttft_s == percentile(ttfts, 50)
+        assert report.p99_ttft_s == percentile(ttfts, 99)
+        assert report.mean_tpot_s == sum(tpots) / len(tpots)
+        assert report.p50_tpot_s == percentile(tpots, 50)
+        assert report.p99_tpot_s == percentile(tpots, 99)
+        assert report.mean_latency_s == sum(latencies) / len(latencies)
+        assert report.p50_latency_s == percentile(latencies, 50)
+        assert report.p99_latency_s == percentile(latencies, 99)
+
 
 def completed_request(request_id, *, arrival=0.0, scheduled=None, first=1.0, done=2.0,
                       output_tokens=10):
