@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
 """Performance harness for the request-level scheduler simulation.
 
-Six sections, written to ``BENCH_scheduler.json`` at the repository root so subsequent PRs
+Eight sections, written to ``BENCH_scheduler.json`` at the repository root so subsequent PRs
 can track both simulator wall-time (is the scheduler hot loop regressing?) and the simulated
 serving metrics (did a change silently alter the model?):
 
 * ``trace_simulation`` — a ShareGPT-like trace (Poisson arrivals) through the
   continuous-batching scheduler on Llama2-7B/H800 with the default FCFS + recompute policies;
+* ``mixed_phase`` — the fast-forward acceptance workload PR 4's decode-only jumps could not
+  touch: a KV-constrained, prefill-heavy trace (long prompts, hybrid preemption, starved
+  chunks and parked swapped sequences) measured with fast-forward on *and* off;
+  ``speedup_ge_3x`` asserts the mixed-phase jump machinery clears 3x the interpretive path;
 * ``preemption_ab`` — the same KV-constrained ShareGPT trace (same seed) served under the
   recompute-only, swap-whenever-possible and cost-based hybrid preemption policies, recording
   goodput, preemption mix and KV transfer time; the acceptance flag
@@ -23,6 +27,11 @@ serving metrics (did a change silently alter the model?):
   least-outstanding-tokens router (the O(1) incremental load counter's worst customer).
   These sizes run unchanged in ``--fast`` mode: analytic decode fast-forward is what makes
   them CI-viable at all;
+* ``sweep`` — the process-parallel sweep engine (:mod:`repro.sweep`) over a 16-cell policy
+  grid, run serially and with 4 workers; the consolidated JSON is written next to this
+  payload (``BENCH_sweep[.fast].json``) and ``parallel_matches_serial`` asserts the two
+  executions produce byte-identical cells (wall clock is reported, not gated: the speedup
+  is bounded by the runner's core count);
 * ``tensor_parallel_llama2_70b`` — the TP acceptance scenario (OOM on one GPU, finite on 4).
 
 The payload always matches ``SCHEMA`` below (validated before writing; the tier-1 suite
@@ -49,7 +58,9 @@ import pstats
 import time
 
 from repro.core import simulate_cluster, simulate_serving
+from repro.reporting.schema import validate_payload as _validate_schema
 from repro.serving import ServingEngine, SloSpec
+from repro.sweep import SINGLE_REPLICA, SweepGrid, cells_identical, run_sweep, write_sweep_json
 from repro.workloads.traces import LengthDistribution
 
 RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_scheduler.json")
@@ -57,6 +68,12 @@ RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_schedule
 #: committed full-size trajectory (which the tier-1 suite asserts is mode="full").
 FAST_RESULT_PATH = os.path.join(
     os.path.dirname(__file__), os.pardir, "BENCH_scheduler.fast.json"
+)
+#: The sweep section's consolidated per-cell JSON (uploaded as a CI artifact next to the
+#: bench payload; fast mode writes the ``.fast`` twin).
+SWEEP_RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_sweep.json")
+SWEEP_FAST_RESULT_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_sweep.fast.json"
 )
 
 #: Shared A/B workload: a KV-constrained pool (device budget shrunk well below the 80 GB
@@ -92,6 +109,38 @@ SCALE_CLUSTER_REQUESTS = 4_000
 SCALE_CLUSTER_REPLICAS = 16
 SCALE_CLUSTER_RPS = 160.0
 
+#: Mixed-phase acceptance workload: KV-constrained *and* prefill-heavy (long prompts,
+#: sizeable answers, hybrid preemption under a shrunk device pool), i.e. the regime where
+#: PR 4's decode-only fast-forward never fired and the simulator ran interpretively at
+#: ~43k it/s.  The harness runs it with fast-forward on and off; the acceptance flag
+#: demands >= 3x between the two.
+MIXED_PROMPTS = LengthDistribution.lognormal(median=1024.0, sigma=0.9, maximum=4096)
+MIXED_OUTPUTS = LengthDistribution.lognormal(median=200.0, sigma=0.8, maximum=1024)
+MIXED_ARRIVAL_RPS = 16.0
+
+#: Sweep section grid: 16 cells (2 systems x 2 preemption policies x 2 arrival rates x
+#: 2 cluster shapes) on the KV-constrained workload, executed serially and with 4 worker
+#: processes.  Cell results must match byte for byte — that determinism, not the
+#: runner-dependent wall-clock ratio, is the gated acceptance criterion.
+SWEEP_WORKERS = 4
+
+
+def _sweep_grid(num_requests: int) -> SweepGrid:
+    return SweepGrid(
+        systems=("liquidserve", "trt-fp16"),
+        preemption_policies=("recompute", "hybrid"),
+        arrival_rates_rps=(15.0, 25.0),
+        cluster_shapes=(
+            SINGLE_REPLICA,
+            {"mode": "colocated", "num_replicas": 2, "router": "least-tokens"},
+        ),
+        num_requests=num_requests,
+        kv_budget_bytes=AB_KV_BUDGET_BYTES,
+        host_kv_budget_bytes=AB_HOST_KV_BUDGET_BYTES,
+        slo_ttft_s=AB_SLO.ttft_s,
+        slo_tpot_s=AB_SLO.tpot_s,
+    )
+
 #: Documented result schema. Leaf values are the required types (``int`` also satisfies a
 #: ``float`` leaf); nested dicts are required sub-objects; ``dict`` leaves are free-form.
 SCHEMA = {
@@ -116,6 +165,18 @@ SCHEMA = {
             "slo_attainment": float,
             "goodput_rps": float,
         },
+    },
+    "mixed_phase": {
+        "workload": dict,
+        "harness": {
+            "wall_time_s": float,
+            "iterations_per_s": float,
+            "stepwise_wall_time_s": float,
+            "stepwise_iterations_per_s": float,
+            "speedup_vs_stepwise": float,
+        },
+        "simulated": dict,  # same summary fields as trace_simulation.simulated
+        "speedup_ge_3x": bool,
     },
     "preemption_ab": {
         "workload": dict,
@@ -144,6 +205,18 @@ SCHEMA = {
             "summary": dict,  # cluster-level throughput / SLO metrics
         },
     },
+    "sweep": {
+        "grid": dict,
+        "num_cells": int,
+        "workers": int,
+        "cpu_count": int,
+        "serial_wall_s": float,
+        "parallel_wall_s": float,
+        "speedup": float,
+        "cells_per_s": float,
+        "parallel_matches_serial": bool,
+        "consolidated_json": str,
+    },
     "tensor_parallel_llama2_70b": {
         "single_gpu_oom": bool,
         "tp4_peak_tokens_per_s": float,
@@ -155,26 +228,9 @@ SCHEMA = {
 
 
 def validate_payload(payload, schema=SCHEMA, path="$"):
-    """Assert ``payload`` matches ``schema``; raises ValueError naming the first mismatch."""
-    if isinstance(schema, dict):
-        if not isinstance(payload, dict):
-            raise ValueError(f"{path}: expected object, got {type(payload).__name__}")
-        for key, sub in schema.items():
-            if key not in payload:
-                raise ValueError(f"{path}.{key}: missing required key")
-            validate_payload(payload[key], sub, f"{path}.{key}")
-        return
-    if schema is dict:
-        if not isinstance(payload, dict):
-            raise ValueError(f"{path}: expected object, got {type(payload).__name__}")
-        return
-    accepted = (int, float) if schema is float else schema
-    if schema in (int, float) and isinstance(payload, bool):
-        raise ValueError(f"{path}: expected {schema.__name__}, got bool")
-    if not isinstance(payload, accepted):
-        raise ValueError(
-            f"{path}: expected {schema.__name__}, got {type(payload).__name__}"
-        )
+    """Assert ``payload`` matches ``schema`` (the shared validator of
+    :mod:`repro.reporting.schema`, defaulted to this harness's ``SCHEMA``)."""
+    _validate_schema(payload, schema, path)
 
 
 def _simulated_summary(sim) -> dict:
@@ -249,6 +305,101 @@ def bench_trace_simulation(num_requests: int, profile: bool = False):
             "iterations_per_s": round(sim.stats.num_iterations / wall_s, 1),
         },
         "simulated": _simulated_summary(sim),
+    }
+
+
+def bench_mixed_phase(num_requests: int) -> dict:
+    """The mixed-phase fast-forward acceptance section: fast vs. interpretive execution.
+
+    Both measurements are best-of-three on the identical (seeded) workload; the simulated
+    numbers are asserted byte-identical between the two modes before anything is reported
+    — a wall-clock win that changed results would be a bug, not a speedup.
+    """
+    kwargs = dict(
+        num_requests=num_requests,
+        arrival_rate_rps=MIXED_ARRIVAL_RPS,
+        seed=0,
+        prompt_lengths=MIXED_PROMPTS,
+        output_lengths=MIXED_OUTPUTS,
+        kv_budget_bytes=AB_KV_BUDGET_BYTES,
+        host_kv_budget_bytes=AB_HOST_KV_BUDGET_BYTES,
+        preemption_policy="hybrid",
+        slo=AB_SLO,
+    )
+
+    def best_of(n, **extra):
+        wall, sim = float("inf"), None
+        for _ in range(n):
+            start = time.perf_counter()
+            sim = simulate_serving("liquidserve", "llama2-7b", **kwargs, **extra)
+            wall = min(wall, time.perf_counter() - start)
+        return sim, wall
+
+    fast, fast_wall = best_of(3)
+    stepwise, stepwise_wall = best_of(3, fast_forward=False)
+    if (
+        fast.stats.simulated_time_s != stepwise.stats.simulated_time_s
+        or fast.stats.num_iterations != stepwise.stats.num_iterations
+        or fast.slo != stepwise.slo
+    ):  # pragma: no cover - pinned by the equivalence test suite
+        raise SystemExit("mixed_phase: fast-forward diverged from stepwise execution")
+    iterations = fast.stats.num_iterations
+    speedup = stepwise_wall / fast_wall
+    return {
+        "workload": {
+            "system": fast.system,
+            "model": fast.model,
+            "device": "H800",
+            "num_requests": num_requests,
+            "arrival": f"poisson-{MIXED_ARRIVAL_RPS:g}rps",
+            "lengths": "kv-constrained prefill-heavy (prompts ~1024, outputs ~200)",
+            "seed": 0,
+            "kv_budget_mb": AB_KV_BUDGET_BYTES // 2**20,
+            "host_kv_budget_mb": AB_HOST_KV_BUDGET_BYTES // 2**20,
+            "preemption_policy": "hybrid",
+            "slo": {"ttft_s": AB_SLO.ttft_s, "tpot_s": AB_SLO.tpot_s},
+        },
+        "harness": {
+            "wall_time_s": round(fast_wall, 4),
+            "iterations_per_s": round(iterations / fast_wall, 1),
+            "stepwise_wall_time_s": round(stepwise_wall, 4),
+            "stepwise_iterations_per_s": round(iterations / stepwise_wall, 1),
+            "speedup_vs_stepwise": round(speedup, 2),
+        },
+        "simulated": _simulated_summary(fast),
+        # The flag compares raw walls: payload rounding must not flip a CI verdict.
+        "speedup_ge_3x": stepwise_wall >= 3.0 * fast_wall,
+    }
+
+
+def bench_sweep(num_requests: int, fast_mode: bool) -> dict:
+    """The process-parallel sweep section: 16 grid cells, serial vs. 4 workers.
+
+    Writes the parallel run's consolidated JSON next to the bench payload.  The gated
+    flag is determinism (parallel cells byte-identical to serial); the speedup is
+    reported for the trajectory but bounded by the runner's cores, so it is not gated.
+    """
+    grid = _sweep_grid(num_requests)
+    start = time.perf_counter()
+    serial = run_sweep(grid, parallel=False)
+    serial_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_sweep(grid, max_workers=SWEEP_WORKERS)
+    parallel_wall = time.perf_counter() - start
+    sweep_path = write_sweep_json(
+        parallel, SWEEP_FAST_RESULT_PATH if fast_mode else SWEEP_RESULT_PATH
+    )
+    return {
+        "grid": serial["grid"],
+        "num_cells": serial["num_cells"],
+        "workers": SWEEP_WORKERS,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_wall_s": round(serial_wall, 3),
+        "parallel_wall_s": round(parallel_wall, 3),
+        "speedup": round(serial_wall / parallel_wall, 2),
+        "cells_per_s": round(serial["num_cells"] / parallel_wall, 2),
+        "parallel_matches_serial": cells_identical(serial, parallel),
+        "consolidated_json": os.path.basename(sweep_path),
     }
 
 
@@ -534,6 +685,8 @@ def main() -> None:
     trace_requests = 120 if args.fast else 500
     ab_requests = 100 if args.fast else 300
     cluster_requests = 60 if args.fast else 200
+    mixed_requests = 150 if args.fast else 300
+    sweep_requests = 40 if args.fast else 150
 
     _warm_up()
     trace_sim, trace_section = bench_trace_simulation(trace_requests,
@@ -542,10 +695,12 @@ def main() -> None:
         "benchmark": "bench_scheduler",
         "mode": "fast" if args.fast else "full",
         "trace_simulation": trace_section,
+        "mixed_phase": bench_mixed_phase(mixed_requests),
         "preemption_ab": bench_preemption_ab(ab_requests),
         "scheduling_ab": bench_scheduling_ab(ab_requests),
         "cluster_ab": bench_cluster_ab(cluster_requests),
         "scale": bench_scale(),
+        "sweep": bench_sweep(sweep_requests, fast_mode=args.fast),
         "tensor_parallel_llama2_70b": bench_tensor_parallel(),
     }
     validate_payload(payload)
@@ -563,9 +718,11 @@ def main() -> None:
     failed = [
         flag
         for section, flag in (
+            ("mixed_phase", "speedup_ge_3x"),
             ("preemption_ab", "hybrid_goodput_ge_recompute"),
             ("scheduling_ab", "sjf_p99_ttft_improves"),
             ("cluster_ab", "disagg_p99_ttft_improves"),
+            ("sweep", "parallel_matches_serial"),
         )
         if not payload[section][flag]
     ]

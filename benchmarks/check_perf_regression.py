@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
 """CI perf regression gate for the scheduler simulation harness.
 
-Compares the fast-mode ``trace_simulation.harness.iterations_per_s`` from a just-produced
-``BENCH_scheduler.fast.json`` against the checked-in baseline
-(``benchmarks/perf_baseline.json``) and fails when throughput drops below
-``min_fraction`` of it.
+Compares the fast-mode harness throughputs from a just-produced
+``BENCH_scheduler.fast.json`` against the checked-in baselines
+(``benchmarks/perf_baseline.json``) and fails when a gated section drops below
+``min_fraction`` of its baseline.  Two sections are gated, covering both halves of the
+fast-forward machinery:
+
+* ``trace_simulation`` — the decode-dominated path (analytic decode jumps);
+* ``mixed_phase`` — the KV-constrained prefill-heavy path (pinned mixed-epoch jumps),
+  which ran interpretively before PR 5 and would silently fall back to interpretive
+  again if the mixed fast path regressed.
 
 The fraction is deliberately generous (default 0.5x): CI runners are slower and noisier
-than the machines that set the baseline, and this gate exists to catch *algorithmic*
+than the machines that set the baselines, and this gate exists to catch *algorithmic*
 regressions — a fast path silently disabled, an accidental O(n^2) in the hot loop — not
 2% jitter.  When a PR legitimately changes the perf envelope, re-baseline by editing
 ``perf_baseline.json`` alongside it.
@@ -35,20 +41,26 @@ def main() -> int:
     with open(args.baseline, encoding="utf-8") as fh:
         baseline = json.load(fh)
 
-    measured = float(payload["trace_simulation"]["harness"]["iterations_per_s"])
-    reference = float(baseline["trace_simulation_iterations_per_s"])
     min_fraction = float(baseline["min_fraction"])
-    floor = reference * min_fraction
-
-    print(f"measured : {measured:,.0f} scheduler iterations/s")
-    print(f"baseline : {reference:,.0f} (floor = {min_fraction:g}x = {floor:,.0f})")
-    if measured < floor:
-        print(
-            f"FAIL: {measured:,.0f} it/s is below {floor:,.0f} "
-            f"({min_fraction:g}x of the checked-in baseline) — the simulator hot path "
-            "regressed, or this runner is pathologically slow. If the change is "
-            "intentional, update benchmarks/perf_baseline.json in the same PR."
-        )
+    failed = False
+    for section, baseline_key in (
+        ("trace_simulation", "trace_simulation_iterations_per_s"),
+        ("mixed_phase", "mixed_phase_iterations_per_s"),
+    ):
+        measured = float(payload[section]["harness"]["iterations_per_s"])
+        reference = float(baseline[baseline_key])
+        floor = reference * min_fraction
+        print(f"{section:<17}: {measured:>10,.0f} it/s  "
+              f"(baseline {reference:,.0f}, floor {min_fraction:g}x = {floor:,.0f})")
+        if measured < floor:
+            failed = True
+            print(
+                f"FAIL: {section} at {measured:,.0f} it/s is below {floor:,.0f} "
+                f"({min_fraction:g}x of the checked-in baseline) — the simulator hot "
+                "path regressed, or this runner is pathologically slow. If the change "
+                "is intentional, update benchmarks/perf_baseline.json in the same PR."
+            )
+    if failed:
         return 1
     print("OK: within the regression budget")
     return 0

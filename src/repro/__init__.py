@@ -18,8 +18,9 @@ subpackage             contents
 ``repro.kernels``      LiquidGEMM + baseline kernels behind one interface
 ``repro.serving``      end-to-end LLM serving model (models, attention, paged KV, systems)
 ``repro.workloads``    per-model GEMM shapes and batch sweeps
+``repro.sweep``        process-parallel multi-configuration sweep engine over the simulator
 ``repro.accuracy``     quantization-accuracy study on synthetic weights
-``repro.reporting``    text table/series formatting used by the benchmark harnesses
+``repro.reporting``    text table/series formatting and payload schema validation
 =====================  ========================================================================
 """
 

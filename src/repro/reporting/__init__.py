@@ -1,5 +1,12 @@
-"""Result formatting helpers shared by benchmarks and examples."""
+"""Result formatting and payload-validation helpers shared by benchmarks and examples."""
 
+from .schema import validate_payload
 from .tables import format_metrics, format_series, format_speedups, format_table
 
-__all__ = ["format_metrics", "format_series", "format_speedups", "format_table"]
+__all__ = [
+    "format_metrics",
+    "format_series",
+    "format_speedups",
+    "format_table",
+    "validate_payload",
+]

@@ -25,7 +25,9 @@ KV heads than GPUs), so each GPU streams and computes only its shard.  The costs
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Sequence, Union
+
+import numpy as np
 
 from ..gpu.specs import GpuSpec, Precision
 from .models import ModelConfig
@@ -36,6 +38,7 @@ __all__ = [
     "decode_attention_cost_from_totals",
     "ragged_decode_attention_cost",
     "chunked_prefill_attention_cost",
+    "chunked_prefill_attention_times",
     "prefill_attention_cost",
 ]
 
@@ -220,6 +223,49 @@ def chunked_prefill_attention_cost(
         compute=compute,
         overhead=_ATTENTION_LAUNCH_OVERHEAD_S,
     )
+
+
+def chunked_prefill_attention_times(
+    model: ModelConfig,
+    gpu: GpuSpec,
+    chunk_tokens: int,
+    context_starts: Union[Sequence[int], np.ndarray],
+    kv_bytes_per_element: float,
+    bandwidth_efficiency: float = 0.85,
+    attention_efficiency: float = 1.0,
+    tp_degree: int = 1,
+) -> np.ndarray:
+    """Vectorized :func:`chunked_prefill_attention_cost` totals over cached-prefix lengths.
+
+    One fixed-size chunk of a longer prompt priced at many ``context_start`` values in a
+    single NumPy evaluation — the shape a pinned mixed prefill+decode epoch produces, where
+    the same request prefills one ``chunk_tokens`` chunk per iteration on a prefix that
+    grows by ``chunk_tokens`` each time.  Every term is linear in ``context_start`` and
+    every operation mirrors the scalar function's operand order elementwise, so each
+    element is bit-identical to ``chunked_prefill_attention_cost(...).total`` at that
+    prefix length (the property the fast-forward equivalence suite pins).
+    """
+    if chunk_tokens <= 0:
+        raise ValueError("chunk_tokens must be positive")
+    starts = np.asarray(context_starts, dtype=np.int64)
+    if starts.size and int(starts.min()) < 0:
+        raise ValueError("context_start must be non-negative")
+    _check_efficiency(attention_efficiency)
+
+    kv_dim = model.kv_dim_per_gpu(tp_degree)
+    heads = model.heads_per_gpu(tp_degree)
+    effective_bw = gpu.memory_bandwidth * bandwidth_efficiency * attention_efficiency
+
+    attended = chunk_tokens * starts + chunk_tokens * (chunk_tokens + 1) / 2.0
+
+    kv_read = 2.0 * starts * kv_dim * kv_bytes_per_element / effective_bw
+    kv_write = 2.0 * chunk_tokens * kv_dim * kv_bytes_per_element / effective_bw
+
+    flops = 8.0 * attended * heads * model.head_dim
+    compute = flops / (
+        gpu.tensor_core_throughput(_tensor_precision(gpu)) * 0.6 * attention_efficiency
+    )
+    return kv_read + kv_write + compute + _ATTENTION_LAUNCH_OVERHEAD_S
 
 
 def prefill_attention_cost(

@@ -166,13 +166,19 @@ class ServingCluster:
         host_kv_budget_bytes: Optional[int] = None,
         overlap_swap_transfers: bool = False,
         fast_forward: bool = True,
+        engine: Optional[ServingEngine] = None,
     ):
         self.spec = spec or ClusterSpec()
         self.router_name = self.spec.router or self.spec.default_router
         get_router_policy(self.router_name)  # fail fast on an unknown policy
         self.replicas: List[Replica] = []
-        for replica_id, role in enumerate(self.spec.roles()):
+        # One engine serves the whole fleet: the engine is a pure (memoized) cost model —
+        # replicas differ only in scheduler/KV state — so sharing it means a 16-replica
+        # cluster warms one step-cost memo instead of sixteen.  ``engine`` lets sweep
+        # workers inject an already-warm engine and carry the memo across grid cells.
+        if engine is None:
             engine = ServingEngine(system, model, device=device, tp_degree=tp_degree)
+        for replica_id, role in enumerate(self.spec.roles()):
             scheduler = ContinuousBatchingScheduler(
                 engine,
                 max_batch_size=max_batch_size,
@@ -196,7 +202,7 @@ class ServingCluster:
         return self.spec.mode == "disaggregated"
 
     # ------------------------------------------------------------------ routing
-    def _route_arrival(self, router: RouterPolicy, orig: Request, now: float) -> None:
+    def _route_arrival(self, router: RouterPolicy, orig: Request, now: float) -> Replica:
         if self.disaggregated:
             # Phase 1 of the request's life: prompt prefill + first token on a prefill
             # replica.  A clone capped at one output token makes the replica's scheduler
@@ -208,6 +214,7 @@ class ServingCluster:
         else:
             target = router.select(self.replicas, orig)
             target.scheduler.submit(orig, now=now)
+        return target
 
     def _on_prefill_done(self, state: _RunState, replica: Replica, clone: Request) -> None:
         """Merge the prefill phase into the original request; stage the KV handoff."""
@@ -278,41 +285,88 @@ class ServingCluster:
         for request in sorted(requests, key=lambda r: (r.arrival_time_s, r.request_id)):
             state.push_event(request.arrival_time_s, _EVENT_ARRIVAL, request)
 
-        while state.events or any(r.has_work for r in self.replicas):
-            active = [r for r in self.replicas if r.has_work]
+        # ---- event-indexed advancement: the fleet is indexed by a lazily-invalidated
+        # min-heap over (clock, replica_id) so choosing the next replica to advance — and
+        # testing the event-delivery condition against the minimum active clock — costs
+        # O(log n) per event instead of the O(n) fleet scan per iteration the previous
+        # driver paid.  Entries are stamped with a per-replica version; an entry is live
+        # only while its version and clock still match the replica (a popped replica is
+        # re-pushed after advancing, so stale entries simply drain off the heap).
+        # The tie-break (clock, replica_id) reproduces the scan-based driver's order
+        # exactly, keeping results bit-identical.
+        versions = [0] * len(self.replicas)
+        ready: List[Tuple[float, int, int]] = []
+        prefill_versions = [0] * len(self.replicas)
+        prefill_ready: List[Tuple[float, int, int]] = []
+        track_prefill = self.disaggregated and bool(self.decode_replicas)
+
+        def push_ready(replica: Replica) -> None:
+            rid = replica.replica_id
+            versions[rid] += 1
+            heapq.heappush(ready, (replica.clock, rid, versions[rid]))
+            if track_prefill and replica.role == REPLICA_ROLE_PREFILL:
+                prefill_versions[rid] += 1
+                heapq.heappush(
+                    prefill_ready, (replica.clock, rid, prefill_versions[rid])
+                )
+
+        def live_min(heap: List[Tuple[float, int, int]], vers: List[int]) -> Optional[Replica]:
+            while heap:
+                clock, rid, version = heap[0]
+                replica = self.replicas[rid]
+                if (
+                    version != vers[rid]
+                    or clock != replica.clock
+                    or not replica.has_work
+                ):
+                    heapq.heappop(heap)
+                    continue
+                return replica
+            return None
+
+        while True:
+            replica = live_min(ready, versions)
             if state.events and (
-                not active
-                or state.events[0][0] <= min(r.clock for r in active)
+                replica is None or state.events[0][0] <= replica.clock
             ):
                 # No replica can still do work that precedes this event: deliver it.
                 time_s, _, kind, request = heapq.heappop(state.events)
                 if kind == _EVENT_ARRIVAL:
-                    self._route_arrival(router, request, time_s)
+                    target = self._route_arrival(router, request, time_s)
                 else:
                     target = router.select_decode(self.decode_replicas, request)
                     target.scheduler.submit_resumed(request, now=time_s)
+                push_ready(target)  # an idle target wakes at the event time
                 continue
-            replica = min(active, key=lambda r: (r.clock, r.replica_id))
+            if replica is None:
+                break
+            heapq.heappop(ready)  # the replica's live entry; re-pushed after advancing
             # ---- fast-forward horizon: a replica may only jump through iterations the
             # stepwise driver would also have given it consecutively.  Pending events
             # always bound the jump (delivery happens the moment the fleet reaches the
-            # event time).  In disaggregated mode, *future* events — KV migrations minted
-            # by other replicas' completions — can appear at any time after the slowest
-            # other replica's clock, so that clock bounds the jump too; co-located runs
-            # mint no new events (all arrivals are queued up front), so only the event
-            # queue matters and drain phases collapse into single jumps.
+            # event time).  The only *future* events — KV migrations minted by prefill
+            # replicas' completions, strictly after their current clocks — are routed to
+            # decode replicas, so in disaggregated mode a decode replica is additionally
+            # bounded by the earliest active *prefill* clock (the exact migration
+            # horizon); prefill replicas, like every co-located replica, are bounded by
+            # the event queue alone and collapse whole drain phases into single jumps.
             stop_before: Optional[float] = (
                 state.events[0][0] if state.events else None
             )
-            if self.disaggregated and len(active) > 1:
-                other_min = min(r.clock for r in active if r is not replica)
-                stop_before = (
-                    other_min if stop_before is None else min(stop_before, other_min)
-                )
+            if track_prefill and replica.role == REPLICA_ROLE_DECODE:
+                earliest_prefill = live_min(prefill_ready, prefill_versions)
+                if earliest_prefill is not None:
+                    stop_before = (
+                        earliest_prefill.clock
+                        if stop_before is None
+                        else min(stop_before, earliest_prefill.clock)
+                    )
             if not replica.scheduler.fast_forward(stop_before):
                 replica.scheduler.step()
             for done in replica.scheduler.drain_completed():
                 self._on_complete(state, replica, done)
+            if replica.has_work:
+                push_ready(replica)
 
         replica_stats = [r.scheduler.stats() for r in self.replicas]
         merged = state.merged_completions()

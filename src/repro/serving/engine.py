@@ -45,6 +45,7 @@ from .attention import (
     _ATTENTION_LAUNCH_OVERHEAD_S,
     _tensor_precision,
     chunked_prefill_attention_cost,
+    chunked_prefill_attention_times,
     decode_attention_cost,
     decode_attention_cost_from_totals,
     prefill_attention_cost,
@@ -73,6 +74,39 @@ def peak_resident_tokens(prompt_tokens: int, output_tokens: int) -> int:
     form; two of them previously disagreed and misreported borderline batches as OOM.
     """
     return prompt_tokens + output_tokens - 1
+
+#: Default entry bound of each step-cost memo cache (see :class:`_BoundedMemo`): large
+#: enough that a single simulation never evicts, small enough that a long multi-config
+#: sweep reusing one engine stays at a few MB of memo state per cache.
+_MEMO_CACHE_ENTRIES = 65536
+
+
+class _BoundedMemo(dict):
+    """Insertion-ordered memo dict with FIFO eviction at ``maxsize`` entries.
+
+    The serving engine memoizes pure cost-model evaluations keyed by iteration shape.
+    One trace touches a few thousand distinct keys, but a long sweep over many workloads
+    through a shared engine would otherwise grow the memos without bound.  Eviction is
+    FIFO (oldest inserted first) so the hit path stays a plain ``dict.get`` — zero
+    overhead where it matters — and only the miss path pays the bound check.  Evicting
+    never changes results: every entry is a pure function of its key.
+    """
+
+    __slots__ = ("maxsize", "evictions")
+
+    def __init__(self, maxsize: int = _MEMO_CACHE_ENTRIES):
+        super().__init__()
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.evictions = 0
+
+    def __setitem__(self, key, value) -> None:
+        if len(self) >= self.maxsize and key not in self:
+            super().__delitem__(next(iter(self)))
+            self.evictions += 1
+        super().__setitem__(key, value)
+
 
 #: Memory reserved for activations, CUDA graphs, workspace and fragmentation slack.
 _ACTIVATION_RESERVE_BYTES = 2 * 2**30
@@ -163,7 +197,14 @@ class ServingResult:
 class ServingEngine:
     """Performance model of one serving system running one model on one GPU (or TP group)."""
 
-    def __init__(self, system, model, device="H800", tp_degree: int = 1):
+    def __init__(
+        self,
+        system,
+        model,
+        device="H800",
+        tp_degree: int = 1,
+        memo_cache_entries: int = _MEMO_CACHE_ENTRIES,
+    ):
         self.system: SystemProfile = system if isinstance(system, SystemProfile) else get_system(system)
         self.model: ModelConfig = model if isinstance(model, ModelConfig) else get_model(model)
         self.device: Device = as_device(device)
@@ -176,19 +217,33 @@ class ServingEngine:
         else:
             self.supported = True
         # Step-cost caches: GEMM/LM-head latency depends only on the iteration token count,
-        # which the request-level simulation hits thousands of times.
-        self._gemm_time_cache: Dict[int, float] = {}
-        self._lm_head_cache: Dict[int, float] = {}
-        self._others_time_cache: Dict[int, float] = {}
-        self._comm_time_cache: Dict[int, float] = {}
+        # which the request-level simulation hits thousands of times.  Every memo is
+        # bounded (``memo_cache_entries``, FIFO eviction) so a long multi-configuration
+        # sweep reusing one engine cannot grow memory without bound; sizes and eviction
+        # counts are exposed by :meth:`cache_stats`.
+        self._gemm_time_cache: Dict[int, float] = _BoundedMemo(memo_cache_entries)
+        self._lm_head_cache: Dict[int, float] = _BoundedMemo(memo_cache_entries)
+        self._others_time_cache: Dict[int, float] = _BoundedMemo(memo_cache_entries)
+        self._comm_time_cache: Dict[int, float] = _BoundedMemo(memo_cache_entries)
         # Decode-iteration closed form: one layer's decode cost is a function of
         # (batch_size, sum(contexts)) alone, so the whole iteration memoizes on that pair
         # and vectorizes over arrays of context totals (the fast-forward path).
-        self._decode_step_cache: Dict[Tuple[int, int], float] = {}
-        self._decode_coeff_cache: Dict[int, Tuple[float, float, float, float, float]] = {}
+        self._decode_step_cache: Dict[Tuple[int, int], float] = _BoundedMemo(memo_cache_entries)
+        self._decode_coeff_cache: Dict[int, Tuple[float, float, float, float, float]] = (
+            _BoundedMemo(memo_cache_entries)
+        )
         # Chunked-prefill attention repeats heavily at the scheduler's fixed chunk
         # granularity (e.g. (256, 0), (256, 256), ...), so it memoizes on the chunk shape.
-        self._chunk_attention_cache: Dict[Tuple[int, int], float] = {}
+        self._chunk_attention_cache: Dict[Tuple[int, int], float] = _BoundedMemo(memo_cache_entries)
+        self._memo_caches: Dict[str, _BoundedMemo] = {
+            "layer_gemm": self._gemm_time_cache,
+            "lm_head": self._lm_head_cache,
+            "layer_others": self._others_time_cache,
+            "allreduce": self._comm_time_cache,
+            "decode_step": self._decode_step_cache,
+            "decode_coeffs": self._decode_coeff_cache,
+            "chunk_attention": self._chunk_attention_cache,
+        }
         spec = self.device.spec
         attn_eff = self.system.attention_efficiency
         self._attn_kv_dim = self.model.kv_dim_per_gpu(self.tp_degree)
@@ -204,6 +259,23 @@ class ServingEngine:
         # per GEMM estimate was a measurable share of the scheduler-simulation profile.
         self._kernel_params = self.kernel.cost_params(spec)
         self._fp16_kernel_params = self._fp16_kernel.cost_params(spec)
+
+    # ------------------------------------------------------------------ cache introspection
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Debug snapshot of every step-cost memo cache: entries, bound and evictions.
+
+        The hook long sweeps use to verify memoization stays effective (hits keep
+        landing) and bounded (evictions only appear once a cache saturates its
+        ``memo_cache_entries`` budget).
+        """
+        return {
+            name: {
+                "entries": len(cache),
+                "max_entries": cache.maxsize,
+                "evictions": cache.evictions,
+            }
+            for name, cache in self._memo_caches.items()
+        }
 
     # ------------------------------------------------------------------ memory accounting
     def weight_memory_bytes(self) -> int:
@@ -480,37 +552,138 @@ class ServingEngine:
             return self.decode_iteration_time(
                 decode_batch, int(sum(decode_context_lengths))
             )
-        prefill_tokens = sum(c.tokens for c in prefill_chunks)
-        total_tokens = decode_batch + prefill_tokens
-        if total_tokens <= 0:
-            raise ValueError("an iteration must process at least one token")
+        logits_tokens = decode_batch + sum(1 for c in prefill_chunks if c.produces_token)
+        return self.mixed_iteration_time(
+            decode_batch,
+            int(sum(decode_context_lengths)),
+            [(c.tokens, c.context_start) for c in prefill_chunks],
+            logits_tokens,
+        )
+
+    def mixed_iteration_time(
+        self,
+        decode_batch: int,
+        total_context: int,
+        chunk_shapes: Sequence[Tuple[int, int]],
+        logits_tokens: int,
+    ) -> float:
+        """Scalar mixed-iteration latency from the *summed* decode context length.
+
+        The memo-backed core :meth:`mixed_step_time` delegates to, exposed directly so
+        analytic fast-forward can price short pinned epochs without materializing
+        per-sequence context lists or :class:`PrefillChunk` objects: ``chunk_shapes`` is
+        one ``(chunk_tokens, context_start)`` pair per prefill chunk (the chunk-attention
+        memo key), ``logits_tokens`` the token-emitting positions.
+        """
+        if not chunk_shapes:
+            if decode_batch == 0:
+                raise ValueError("an iteration must process at least one token")
+            return self.decode_iteration_time(decode_batch, total_context)
 
         attention = 0.0
         if decode_batch:
-            attention += decode_attention_cost_from_totals(
-                self.model,
-                self.device.spec,
-                decode_batch,
-                float(sum(decode_context_lengths)),
-                kv_bytes_per_element(self.system.kv_format),
-                attention_efficiency=self.system.attention_efficiency,
-                tp_degree=self.tp_degree,
-            ).total
-        for chunk in prefill_chunks:
-            chunk_key = (chunk.tokens, chunk.context_start)
-            chunk_attention = self._chunk_attention_cache.get(chunk_key)
+            attention += self._mixed_decode_attention_times(
+                decode_batch, float(total_context)
+            )
+        cache = self._chunk_attention_cache
+        prefill_tokens = 0
+        for chunk_key in chunk_shapes:
+            chunk_attention = cache.get(chunk_key)
             if chunk_attention is None:
                 chunk_attention = chunked_prefill_attention_cost(
                     self.model,
                     self.device.spec,
-                    chunk.tokens,
-                    chunk.context_start,
+                    chunk_key[0],
+                    chunk_key[1],
                     kv_bytes_per_element(self.system.kv_format),
                     attention_efficiency=self.system.attention_efficiency,
                     tp_degree=self.tp_degree,
                 ).total
-                self._chunk_attention_cache[chunk_key] = chunk_attention
+                cache[chunk_key] = chunk_attention
             attention += chunk_attention
+            prefill_tokens += chunk_key[0]
+
+        total_tokens = decode_batch + prefill_tokens
+        per_layer = (
+            self.layer_gemm_time(total_tokens)
+            + attention
+            + self.layer_others_time(total_tokens)
+            + 2.0 * self.allreduce_time(total_tokens)
+        )
+        return per_layer * self.model.num_layers + self.lm_head_time(logits_tokens)
+
+    def _mixed_decode_attention_times(self, batch_size: int, totals):
+        """``decode_attention_cost_from_totals(...).total`` over summed context lengths.
+
+        The decode share of a mixed iteration with the hoisted scalars of
+        :meth:`_decode_step_core`.  ``totals`` is a float (one iteration) or a float64
+        array (a pinned epoch): every operation below is scalar/array polymorphic and
+        mirrors the attention module's operand order, so both shapes are bit-identical
+        to the per-iteration call :meth:`mixed_step_time` makes — one body, because that
+        operand order is load-bearing for fast-vs-stepwise equivalence.
+        """
+        kv_elements = 2.0 * totals * self._attn_kv_dim
+        kv_read = kv_elements * self._attn_kv_bytes / self._attn_effective_bw
+        kv_write = (
+            2.0 * batch_size * self._attn_kv_dim * self._attn_kv_bytes
+        ) / self._attn_effective_bw
+        flops = 8.0 * totals * self._attn_heads * self.model.head_dim
+        compute = flops / self._attn_tc_denom
+        return kv_read + kv_write + compute + _ATTENTION_LAUNCH_OVERHEAD_S
+
+    def mixed_step_times(
+        self,
+        decode_batch: int,
+        decode_total_contexts: Optional[np.ndarray],
+        chunk_runs: Sequence[Tuple[int, np.ndarray]],
+        logits_tokens: Optional[int] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`mixed_step_time` over a run of pinned-composition iterations.
+
+        The batch API analytic fast-forward uses to price a whole mixed prefill+decode
+        *epoch* — consecutive iterations whose batch composition is frozen (same decode
+        batch size, same prefill chunk sizes, no admissions, completions or first-token
+        emissions) while the decode contexts grow by one token and each chunk's cached
+        prefix grows by its chunk size per iteration:
+
+        * ``decode_total_contexts`` — per-iteration *summed* decode context lengths
+          (ignored when ``decode_batch`` is 0);
+        * ``chunk_runs`` — one ``(chunk_tokens, context_starts)`` pair per resident
+          prefill, in the scheduler's chunk-planning order, where ``context_starts`` holds
+          that chunk's cached-prefix length at each iteration;
+        * ``logits_tokens`` — positions emitting a token per iteration (defaults to
+          ``decode_batch``: inside an epoch no prefill chunk completes a prompt).
+
+        Element ``i`` is bit-identical to the scalar :meth:`mixed_step_time` of iteration
+        ``i`` — same closed forms, same accumulation order, evaluated elementwise — which
+        is the contract the fast-forward equivalence suite pins.
+        """
+        if not chunk_runs:
+            if decode_batch <= 0:
+                raise ValueError("an iteration must process at least one token")
+            return self.decode_iteration_times(decode_batch, decode_total_contexts)
+        prefill_tokens = sum(tokens for tokens, _ in chunk_runs)
+        total_tokens = decode_batch + prefill_tokens
+
+        attention: Optional[np.ndarray] = None
+        if decode_batch:
+            totals = np.asarray(decode_total_contexts, dtype=np.float64)
+            attention = self._mixed_decode_attention_times(decode_batch, totals)
+        spec = self.device.spec
+        kv_bytes = kv_bytes_per_element(self.system.kv_format)
+        for tokens, starts in chunk_runs:
+            chunk_attention = chunked_prefill_attention_times(
+                self.model,
+                spec,
+                tokens,
+                starts,
+                kv_bytes,
+                attention_efficiency=self.system.attention_efficiency,
+                tp_degree=self.tp_degree,
+            )
+            attention = (
+                chunk_attention if attention is None else attention + chunk_attention
+            )
 
         per_layer = (
             self.layer_gemm_time(total_tokens)
@@ -518,7 +691,8 @@ class ServingEngine:
             + self.layer_others_time(total_tokens)
             + 2.0 * self.allreduce_time(total_tokens)
         )
-        logits_tokens = decode_batch + sum(1 for c in prefill_chunks if c.produces_token)
+        if logits_tokens is None:
+            logits_tokens = decode_batch
         return per_layer * self.model.num_layers + self.lm_head_time(logits_tokens)
 
     def prefill_time(self, batch_size: int, prompt_length: int) -> float:

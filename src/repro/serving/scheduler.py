@@ -46,7 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from .engine import PrefillChunk, ServingEngine, peak_resident_tokens
-from .kvcache import KvCacheOutOfMemory, PagedKvCache
+from .kvcache import KvCacheOutOfMemory, PagedKvCache, SequenceState
 from .metrics import SloReport, SloSpec, compute_slo_report
 from .policies import (
     PreemptionPolicy,
@@ -701,7 +701,10 @@ class ContinuousBatchingScheduler:
         That is the state analytic fast-forward can advance in closed form: no pending
         admission, prefill, import, or swap work, no parked overlap transfer, and the KV
         pool holding exactly the running sequences (a replaced pool with foreign residents
-        falls back to stepwise execution).
+        falls back to stepwise execution).  Fast-forward itself accepts a broader state —
+        waiting / imported / swapped requests are fine as long as they are *provably
+        parked* for the whole jump (see :meth:`_admission_parked` and friends) — this
+        strict property is the classic steady-state probe tests and callers rely on.
         """
         return bool(
             self._running
@@ -713,23 +716,116 @@ class ContinuousBatchingScheduler:
             and self.kv_cache.num_sequences == len(self._running)
         )
 
-    def fast_forward(self, stop_before: Optional[float] = None) -> int:
-        """Advance a steady decode-only phase in one closed-form jump.
+    # ---- parked-queue proofs: a queued request only becomes schedulable through more
+    # free KV blocks, a smaller resident set, or leftover token budget.  Inside one
+    # no-completion fast-forward segment the resident set and the iteration budget are
+    # frozen and free blocks only shrink, so "blocked now" implies "blocked for the whole
+    # segment" — the monotonicity every check below leans on.
+    def _admission_parked(self, budget_left: int) -> bool:
+        """True when the admission loop could not admit the top waiting request now
+        (and, by monotonicity, not at any later iteration of a pinned segment)."""
+        if not self._waiting:
+            return True
+        if budget_left <= 0 or self.num_resident >= self.max_batch_size:
+            return True
+        request = self._waiting[0][2]
+        target = (
+            request.prefill_target if request.prefill_target > 0 else request.prompt_tokens
+        )
+        take = min(target, self.prefill_chunk_tokens, budget_left)
+        return not self.kv_cache.can_admit(take)
 
-        Computes the number of iterations until the next state-changing event — the
-        earliest request completion, the KV allocation that would exhaust the pool, or the
-        driver's horizon ``stop_before`` (the next arrival / cluster event: only iterations
-        *starting* strictly before it may run, matching the stepwise drivers) — prices them
-        in one vectorized evaluation of the decode cost model, and applies all clock, KV,
-        and stats bookkeeping at once.  Bit-identical to calling :meth:`step` that many
-        times: the per-iteration times come from the same memoized closed form, and the
-        clock is accumulated by the same sequential float additions (``np.cumsum``).
+    def _imports_parked(self) -> bool:
+        """True when the top imported sequence cannot land its KV blocks now (nor later
+        in a pinned segment: free blocks only shrink, the resident count is frozen)."""
+        if not self._imported:
+            return True
+        if self.num_resident >= self.max_batch_size:
+            return True
+        request = self._imported[0][2]
+        needed = self.kv_cache.config.blocks_for_tokens(request.imported_kv_tokens)
+        return needed > self.kv_cache.num_free_blocks
+
+    def _swap_ins_parked(self) -> bool:
+        """True when no swapped-out sequence can return to the device pool now.
+
+        The proof compares every candidate against the swap-in headroom *floor* — one
+        slot block per running sequence — at the segment's starting free-block count.
+        With no resident prefills (the decode-only fast path) that floor is exactly the
+        scan's headroom, and both sides are frozen for a pinned segment while free
+        blocks only shrink: blocked stays blocked.  With resident prefills (the mixed
+        fast path) the scan's real headroom additionally reserves each prefill's next
+        chunk and thus never drops below the floor, so a candidate that cannot land at
+        the floor can never land inside the epoch either; one that could is answered
+        with "not parked" and the phase runs stepwise (a conservative miss, never a
+        wrong jump).
+        """
+        if not self._swapped:
+            return True
+        kv = self.kv_cache
+        free = kv.num_free_blocks
+        if free <= 0:
+            return True
+        if self.num_resident >= self.max_batch_size:
+            return True
+        headroom = len(self._running)
+        for request in self._swapped:
+            needed = kv.swapped_sequence(request.request_id).num_blocks
+            if request.decoding:
+                needed += 1
+            if needed + headroom <= free:
+                return False
+        return True
+
+    def fast_forward(self, stop_before: Optional[float] = None) -> int:
+        """Advance a deterministic phase in one closed-form jump.
+
+        Two phase shapes are handled, covering both ends of the serving spectrum:
+
+        * **steady decode** — every resident request is decoding
+          (:meth:`_fast_forward_decode`): jump to the next completion, KV exhaustion or
+          the driver's horizon, chaining through completions;
+        * **pinned mixed prefill+decode** — resident prefills advance by a frozen chunk
+          schedule alongside the decode batch (:meth:`_fast_forward_mixed`): jump to the
+          first composition-changing iteration (a prefill completion / first-token
+          emission, a decode completion, a KV allocation that cannot be satisfied, or the
+          horizon).
+
+        Queued-but-parked work (waiting arrivals, un-landed imports, swapped-out
+        sequences) no longer forces stepwise execution: the jump proceeds whenever the
+        queues provably cannot make progress before its end (see the ``_parked`` checks).
+
+        ``stop_before`` is the driver's horizon (the next arrival / cluster event): only
+        iterations *starting* strictly before it may run, matching the stepwise drivers.
+        Bit-identical to calling :meth:`step` the same number of times — per-iteration
+        costs come from the same (memoized or elementwise-identical vectorized) closed
+        forms, and the clock is accumulated by the same sequential float additions
+        (``np.cumsum``).
 
         Returns the number of iterations advanced; 0 means the caller must take the
-        stepwise path (not in steady decode, fast-forward disabled, or the very next
-        iteration needs KV the pool cannot supply — i.e. preemption is imminent).
+        stepwise path (the next iteration changes state in a way only :meth:`step`
+        handles: admission, preemption, swaps, prefill completions, ...).
         """
-        if not self.fast_forward_enabled or not self.in_steady_decode:
+        if not self.fast_forward_enabled:
+            return 0
+        if self._prefilling:
+            return self._fast_forward_mixed(stop_before)
+        return self._fast_forward_decode(stop_before)
+
+    def _fast_forward_decode(self, stop_before: Optional[float]) -> int:
+        """Closed-form jump through a (possibly parked-queue) steady decode phase."""
+        if (
+            not self._running
+            or self._pending_transfer_s != 0.0
+            or self.kv_cache.num_sequences != len(self._running)
+        ):
+            return 0
+        queued = bool(self._waiting or self._imported or self._swapped)
+        if queued and not (
+            self._admission_parked(max(0, self.max_batched_tokens - len(self._running)))
+            and self._imports_parked()
+            and self._swap_ins_parked()
+        ):
             return 0
         kv = self.kv_cache
         block_tokens = kv.config.block_tokens
@@ -830,11 +926,200 @@ class ContinuousBatchingScheduler:
                     else:
                         still_running.append(request)
                 self._running = still_running
+                if queued:
+                    # Completions freed blocks and shrank the batch: a parked queue may
+                    # now make progress, so hand the next iteration back to step().
+                    break
             else:
                 for request in running:
                     request.generated += k
                 break  # horizon reached mid-segment: nothing finished, hand back
         return advanced
+
+    def _fast_forward_mixed(self, stop_before: Optional[float]) -> int:
+        """Closed-form jump through one pinned mixed prefill+decode epoch.
+
+        With the resident set frozen, :meth:`step`'s chunk-budget walk is fully
+        deterministic: every resident prefill receives the *same* chunk size each
+        iteration (its remaining prompt shrinks by it, its cached prefix grows by it) and
+        every running sequence decodes one token.  The epoch runs until the first
+        iteration that would change the composition — a chunk that completes its prompt
+        (first-token emission), a decode completion, an admission / import / swap-in
+        becoming feasible, a KV allocation the pool cannot supply, or the driver's
+        horizon — which :meth:`step` then executes.  All iterations in between are priced
+        in one vectorized :meth:`~repro.serving.engine.ServingEngine.mixed_step_times`
+        evaluation, elementwise bit-identical to stepwise execution.
+
+        Returns the number of iterations advanced (0: the very next iteration is an
+        event iteration and the caller must :meth:`step`).
+        """
+        if (
+            self._pending_transfer_s != 0.0
+            or self.kv_cache.num_sequences != self.num_resident
+        ):
+            return 0
+        if stop_before is not None and not self._clock < stop_before:
+            return 0
+        if not self._swap_ins_parked():
+            return 0
+        kv = self.kv_cache
+        running = self._running
+        batch = len(running)
+
+        # ---- the pinned chunk schedule: the budget walk of step(), run once, with
+        # iteration 1's sequential block allocation simulated exactly.  Decode slots
+        # allocate first; each resident prefill then either *schedules* its chunk (the
+        # allocation succeeds — and keeps succeeding, see the demand bound below) or is
+        # *starved* (the allocation fails and the chunk is skipped without consuming
+        # budget).  A starved chunk stays starved for the whole epoch only if it cannot
+        # fit even the epoch's starting free-block count — free blocks only shrink while
+        # nothing completes; anything weaker (a skip caused by allocation order alone)
+        # falls back to stepwise.
+        block_tokens = kv.config.block_tokens
+        free_blocks = kv.num_free_blocks
+        run_states = [kv.sequence(r.request_id) for r in running]
+        slot_demand = 0
+        for state in run_states:
+            if (state.num_tokens + 1 + block_tokens - 1) // block_tokens > len(state.blocks):
+                slot_demand += 1
+        avail = free_blocks - slot_demand
+        if avail < 0:
+            return 0  # the decode reservation itself exhausts the pool: step() preempts
+        budget = max(0, self.max_batched_tokens - batch)
+        takes: List[Tuple[Request, int]] = []
+        chunk_states: List[Tuple[SequenceState, int]] = []
+        for request in self._prefilling:
+            if budget <= 0:
+                break
+            take = min(
+                request.prefill_target - request.prefilled,
+                self.prefill_chunk_tokens,
+                budget,
+            )
+            state = kv.sequence(request.request_id)
+            needed = (
+                state.num_tokens + take + block_tokens - 1
+            ) // block_tokens - len(state.blocks)
+            if needed < 0:
+                needed = 0  # pragma: no cover - a sequence never holds excess blocks
+            if needed > avail:
+                if needed <= free_blocks:
+                    return 0  # skipped by allocation order only: not provably stable
+                continue  # stable-starved: skipped every iteration, consumes no budget
+            avail -= needed
+            takes.append((request, take))
+            chunk_states.append((state, take))
+            budget -= take
+        if not self._admission_parked(budget) or not self._imports_parked():
+            return 0
+
+        # ---- composition horizon: the first completing iteration (the chunk that
+        # finishes a prompt, or the decode step that finishes a request) ends the epoch;
+        # it must run stepwise.  ceil(remaining / take) - 1 iterations are safely before
+        # a prefill's completing chunk.
+        k: Optional[int] = None
+        for request, take in takes:
+            remaining = request.prefill_target - request.prefilled
+            safe = (remaining + take - 1) // take - 1
+            k = safe if k is None else min(k, safe)
+        if batch:
+            decode_safe = min(r.output_tokens - r.generated for r in running) - 1
+            k = decode_safe if k is None else min(k, decode_safe)
+        if k is None or k <= 0:
+            return 0
+
+        # ---- KV horizon: the epoch's block demand (decode slots growing by one token
+        # per iteration, scheduled chunks by their chunk size) must fit the free pool;
+        # binary search the largest feasible iteration count.  k = 0 means the next
+        # iteration already cannot allocate — step() runs the preemption / chunk-skip
+        # machinery.
+        def blocks_demanded(iterations: int) -> int:
+            demand = 0
+            for state in run_states:
+                grown = (state.num_tokens + iterations + block_tokens - 1) // block_tokens
+                if grown > len(state.blocks):
+                    demand += grown - len(state.blocks)
+            for state, take in chunk_states:
+                grown = (
+                    state.num_tokens + iterations * take + block_tokens - 1
+                ) // block_tokens
+                if grown > len(state.blocks):
+                    demand += grown - len(state.blocks)
+            return demand
+
+        if blocks_demanded(k) > free_blocks:
+            if blocks_demanded(1) > free_blocks:
+                return 0
+            lo, hi = 1, k  # invariant: demand(lo) <= free < demand(hi)
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if blocks_demanded(mid) <= free_blocks:
+                    lo = mid
+                else:
+                    hi = mid
+            k = lo
+
+        # ---- price iterations 1..k and cut at the horizon: only iterations *starting*
+        # strictly before stop_before may run.  Both paths accumulate the clock by the
+        # same sequential float additions as stepwise step(); short epochs stay scalar
+        # (and feed the chunk-attention memo), long ones go through one vectorized
+        # evaluation + cumsum.
+        total0 = 0
+        for state in run_states:
+            total0 += state.num_tokens
+        if k <= 16:
+            engine = self.engine
+            clock = self._clock
+            done = 0
+            while done < k:
+                if stop_before is not None and not clock < stop_before:
+                    break
+                shapes = [
+                    (take, request.prefilled + done * take) for request, take in takes
+                ]
+                clock += engine.mixed_iteration_time(
+                    batch, total0 + done * batch, shapes, batch
+                )
+                done += 1
+            k = done
+            if k == 0:
+                return 0  # pragma: no cover - guarded by the entry clock check
+            new_clock = clock
+        else:
+            steps = np.arange(k, dtype=np.int64)
+            decode_totals = total0 + steps * batch if batch else None
+            chunk_runs = [
+                (take, request.prefilled + steps * take) for request, take in takes
+            ]
+            times = self.engine.mixed_step_times(batch, decode_totals, chunk_runs)
+            clocks = np.cumsum(np.concatenate(([self._clock], times)))
+            if stop_before is not None:
+                cut = int(np.searchsorted(clocks[:k], stop_before, side="left"))
+                if cut < k:
+                    k = cut
+            if k <= 0:
+                return 0  # pragma: no cover - guarded by the entry clock check
+            new_clock = float(clocks[k])
+
+        # ---- apply: grow KV, advance the clock, move every progress counter by its
+        # k-iteration delta — the same end state k stepwise iterations leave behind.
+        kv.grow_states(run_states, k)
+        for state, take in chunk_states:
+            kv.extend_state(state, k * take)
+        self._peak_util = max(self._peak_util, kv.utilization())
+        self._peak_host_util = max(self._peak_host_util, kv.host_utilization())
+        self._peak_batch = max(self._peak_batch, batch + len(takes))
+        self._clock = new_clock
+        self._num_iterations += k
+        self._chunk_count += k * len(takes)
+        self._generated_tokens += k * batch
+        self._outstanding_tokens -= k * batch
+        for request in running:
+            request.generated += k
+        for request, take in takes:
+            request.prefilled += k * take
+            self._outstanding_tokens -= k * take
+        return k
 
     # ------------------------------------------------------------------ simulation
     def run(self, requests: Sequence[Request]) -> SchedulerStats:

@@ -1,0 +1,429 @@
+"""Process-parallel multi-configuration sweep engine for the serving simulator.
+
+One simulated trace answers one question; the experiments the serving literature actually
+runs — "which preemption policy wins on *this* system at *that* arrival rate, and does the
+answer survive disaggregation?" — are grids.  This module turns the simulator into an
+experiment platform:
+
+* **Declarative grid** — :class:`SweepGrid` spans models × systems × scheduling policies ×
+  preemption policies × arrival rates × cluster shapes, plus the shared workload knobs
+  (trace size, length distributions, KV budgets, SLO).  :meth:`SweepGrid.cells` expands it
+  into a deterministic, index-ordered cell list.
+* **Deterministic per-cell seeds** — every cell's trace seed is derived from the grid's
+  ``base_seed`` and the cell's parameter key via CRC-32 (:func:`derive_cell_seed`), so a
+  cell's workload never depends on grid position: adding a policy to the grid leaves every
+  other cell's trace (and therefore its results) byte-identical.
+* **Process-parallel execution** — :func:`run_sweep` fans cells over a
+  ``ProcessPoolExecutor``; each worker process keeps a per-process
+  :class:`~repro.serving.engine.ServingEngine` cache keyed by (system, model, device, tp),
+  so the engine's bounded step-cost memos stay warm across the cells that share a
+  configuration.  Results are returned in cell order regardless of completion order, and a
+  serial run of the same grid produces the byte-identical payload (modulo wall-clock
+  fields) — the determinism contract the benchmark harness gates on.
+* **Schema-validated consolidated JSON** — the payload matches :data:`SWEEP_SCHEMA`
+  (validated before it is returned or written), so downstream tooling can rely on its
+  shape the way it relies on ``BENCH_scheduler.json``.
+
+Run a grid from the command line::
+
+    PYTHONPATH=src python -m repro.sweep --workers 4 --out sweep.json
+
+or see ``examples/policy_sweep.py`` for the library API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import os
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .reporting.schema import validate_payload
+from .serving.cluster import ServingCluster
+from .serving.engine import ServingEngine
+from .serving.metrics import SloSpec, compute_slo_report
+from .serving.scheduler import ContinuousBatchingScheduler
+from .serving.systems import ClusterSpec
+from .workloads.traces import (
+    SHAREGPT_OUTPUTS,
+    SHAREGPT_PROMPTS,
+    ArrivalProcess,
+    LengthDistribution,
+    generate_trace,
+)
+
+__all__ = [
+    "SweepGrid",
+    "SWEEP_SCHEMA",
+    "derive_cell_seed",
+    "run_sweep",
+    "cells_identical",
+    "write_sweep_json",
+]
+
+
+#: Schema of the consolidated sweep payload (see repro.reporting.schema for the language).
+SWEEP_SCHEMA = {
+    "benchmark": str,  # always "repro.sweep"
+    "grid": dict,
+    "num_cells": int,
+    "workers": int,
+    "parallel": bool,
+    "wall_time_s": float,
+    "cells": [
+        {
+            "index": int,
+            "system": str,
+            "model": str,
+            "scheduling_policy": str,
+            "preemption_policy": str,
+            "arrival_rate_rps": float,
+            "cluster": dict,
+            "seed": int,
+            "wall_time_s": float,
+            "metrics": {
+                "completed_requests": int,
+                "generated_tokens": int,
+                "throughput_tokens_per_s": float,
+                "simulated_time_s": float,
+                "iterations": int,
+                "preemptions": int,
+                "p50_ttft_s": float,
+                "p99_ttft_s": float,
+                "p99_tpot_s": float,
+                "slo_attainment": float,
+                "goodput_rps": float,
+            },
+        }
+    ],
+}
+
+#: The single-replica (no cluster layer) shape; the default grid axis.
+SINGLE_REPLICA: Dict[str, Any] = {"mode": "single"}
+
+
+def derive_cell_seed(base_seed: int, cell_key: str) -> int:
+    """Deterministic per-cell trace seed: stable across runs, machines and processes.
+
+    CRC-32 of the cell's parameter key mixed with the grid's base seed.  Deriving from
+    the *key* (not the cell index) means adding or removing grid values never reseeds the
+    surviving cells — their traces, and therefore their simulated numbers, stay
+    byte-identical across grid revisions.
+    """
+    return (base_seed * 1_000_003 + zlib.crc32(cell_key.encode("utf-8"))) % (2**31)
+
+
+def _cluster_label(shape: Dict[str, Any]) -> str:
+    mode = shape.get("mode", "single")
+    if mode == "single":
+        return "single"
+    if mode == "colocated":
+        return f"colocated-{shape.get('num_replicas', 2)}"
+    return (
+        f"disaggregated-{shape.get('num_prefill_replicas', 1)}p"
+        f"+{shape.get('num_decode_replicas', 1)}d"
+    )
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A declarative grid of serving-simulation configurations.
+
+    The five swept axes are the cartesian product; everything else is shared workload
+    configuration applied to every cell.  ``cluster_shapes`` entries are plain dicts:
+    ``{"mode": "single"}`` (one replica, no cluster layer),
+    ``{"mode": "colocated", "num_replicas": N, "router": name?}`` or
+    ``{"mode": "disaggregated", "num_prefill_replicas": P, "num_decode_replicas": D}``.
+    """
+
+    systems: Sequence[str] = ("liquidserve",)
+    models: Sequence[str] = ("llama2-7b",)
+    scheduling_policies: Sequence[str] = ("fcfs",)
+    preemption_policies: Sequence[str] = ("recompute",)
+    arrival_rates_rps: Sequence[float] = (10.0,)
+    cluster_shapes: Sequence[Dict[str, Any]] = (SINGLE_REPLICA,)
+    # Shared workload knobs:
+    num_requests: int = 200
+    base_seed: int = 0
+    device: str = "H800"
+    tp_degree: int = 1
+    prompt_lengths: Optional[LengthDistribution] = None
+    output_lengths: Optional[LengthDistribution] = None
+    kv_budget_bytes: Optional[int] = None
+    host_kv_budget_bytes: Optional[int] = None
+    num_priority_levels: int = 1
+    slo_ttft_s: float = 2.0
+    slo_tpot_s: float = 0.1
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe description of the grid (embedded in the consolidated payload)."""
+        return {
+            "systems": list(self.systems),
+            "models": list(self.models),
+            "scheduling_policies": list(self.scheduling_policies),
+            "preemption_policies": list(self.preemption_policies),
+            "arrival_rates_rps": list(self.arrival_rates_rps),
+            "cluster_shapes": [_cluster_label(s) for s in self.cluster_shapes],
+            "num_requests": self.num_requests,
+            "base_seed": self.base_seed,
+            "device": self.device,
+            "tp_degree": self.tp_degree,
+            "prompt_lengths": repr(self.prompt_lengths or SHAREGPT_PROMPTS),
+            "output_lengths": repr(self.output_lengths or SHAREGPT_OUTPUTS),
+            "kv_budget_bytes": self.kv_budget_bytes,
+            "host_kv_budget_bytes": self.host_kv_budget_bytes,
+            "num_priority_levels": self.num_priority_levels,
+            "slo": {"ttft_s": self.slo_ttft_s, "tpot_s": self.slo_tpot_s},
+        }
+
+    def cells(self) -> List[Dict[str, Any]]:
+        """Expand the grid into its cell list (deterministic, index-ordered)."""
+        cells: List[Dict[str, Any]] = []
+        for index, (model, system, scheduling, preemption, rate, shape) in enumerate(
+            itertools.product(
+                self.models,
+                self.systems,
+                self.scheduling_policies,
+                self.preemption_policies,
+                self.arrival_rates_rps,
+                self.cluster_shapes,
+            )
+        ):
+            key = (
+                f"model={model}|system={system}|scheduling={scheduling}"
+                f"|preemption={preemption}|rate={rate:g}|cluster={_cluster_label(shape)}"
+            )
+            cells.append(
+                {
+                    "index": index,
+                    "system": system,
+                    "model": model,
+                    "scheduling_policy": scheduling,
+                    "preemption_policy": preemption,
+                    "arrival_rate_rps": float(rate),
+                    "cluster": dict(shape),
+                    "seed": derive_cell_seed(self.base_seed, key),
+                    # Shared knobs travel with the cell so workers need no grid object.
+                    "num_requests": self.num_requests,
+                    "device": self.device,
+                    "tp_degree": self.tp_degree,
+                    "prompt_lengths": self.prompt_lengths,
+                    "output_lengths": self.output_lengths,
+                    "kv_budget_bytes": self.kv_budget_bytes,
+                    "host_kv_budget_bytes": self.host_kv_budget_bytes,
+                    "num_priority_levels": self.num_priority_levels,
+                    "slo_ttft_s": self.slo_ttft_s,
+                    "slo_tpot_s": self.slo_tpot_s,
+                }
+            )
+        return cells
+
+
+# Per-process engine cache: worker processes live for the whole sweep, so cells sharing a
+# (system, model, device, tp) configuration reuse one engine — and its bounded step-cost
+# memos — instead of rebuilding the cost model per cell.
+_ENGINE_CACHE: Dict[Tuple[str, str, str, int], ServingEngine] = {}
+
+
+def _cached_engine(system: str, model: str, device: str, tp_degree: int) -> ServingEngine:
+    key = (system, model, device, tp_degree)
+    engine = _ENGINE_CACHE.get(key)
+    if engine is None:
+        engine = ServingEngine(system, model, device=device, tp_degree=tp_degree)
+        _ENGINE_CACHE[key] = engine
+    return engine
+
+
+def _run_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one grid cell and return its schema-shaped result row.
+
+    Runs in a worker process (or inline for serial sweeps).  Everything the cell needs is
+    in the cell dict; the only cross-cell state is the pure per-process engine cache.
+    """
+    start = time.perf_counter()
+    engine = _cached_engine(
+        cell["system"], cell["model"], cell["device"], cell["tp_degree"]
+    )
+    trace = generate_trace(
+        cell["num_requests"],
+        ArrivalProcess(rate_rps=cell["arrival_rate_rps"]),
+        cell["prompt_lengths"] or SHAREGPT_PROMPTS,
+        cell["output_lengths"] or SHAREGPT_OUTPUTS,
+        seed=cell["seed"],
+        num_priority_levels=cell["num_priority_levels"],
+    )
+    slo = SloSpec(ttft_s=cell["slo_ttft_s"], tpot_s=cell["slo_tpot_s"])
+    shape = cell["cluster"]
+    scheduler_kwargs = dict(
+        scheduling_policy=cell["scheduling_policy"],
+        preemption_policy=cell["preemption_policy"],
+        kv_budget_bytes=cell["kv_budget_bytes"],
+        host_kv_budget_bytes=cell["host_kv_budget_bytes"],
+    )
+    if shape.get("mode", "single") == "single":
+        scheduler = ContinuousBatchingScheduler(engine, **scheduler_kwargs)
+        stats = scheduler.run(trace)
+        report = stats.slo_report(slo)
+        iterations = stats.num_iterations
+        metrics_source = dict(
+            completed_requests=stats.completed_requests,
+            generated_tokens=stats.generated_tokens,
+            throughput=stats.throughput_tokens_per_s,
+            simulated_time_s=stats.simulated_time_s,
+            preemptions=stats.preemptions,
+        )
+    else:
+        spec = ClusterSpec(
+            mode=shape["mode"],
+            num_replicas=shape.get("num_replicas"),
+            num_prefill_replicas=shape.get("num_prefill_replicas", 1),
+            num_decode_replicas=shape.get("num_decode_replicas", 1),
+            router=shape.get("router"),
+        )
+        cluster = ServingCluster(
+            cell["system"],
+            cell["model"],
+            spec,
+            device=cell["device"],
+            tp_degree=cell["tp_degree"],
+            engine=engine,
+            **scheduler_kwargs,
+        )
+        result = cluster.run(trace)
+        report = result.slo_report(slo)
+        iterations = sum(s.num_iterations for s in result.replica_stats)
+        metrics_source = dict(
+            completed_requests=result.completed_requests,
+            generated_tokens=result.generated_tokens,
+            throughput=result.throughput_tokens_per_s,
+            simulated_time_s=result.simulated_time_s,
+            preemptions=sum(s.preemptions for s in result.replica_stats),
+        )
+    wall_s = time.perf_counter() - start
+    return {
+        "index": cell["index"],
+        "system": cell["system"],
+        "model": cell["model"],
+        "scheduling_policy": cell["scheduling_policy"],
+        "preemption_policy": cell["preemption_policy"],
+        "arrival_rate_rps": cell["arrival_rate_rps"],
+        "cluster": dict(cell["cluster"], label=_cluster_label(cell["cluster"])),
+        "seed": cell["seed"],
+        "wall_time_s": round(wall_s, 4),
+        "metrics": {
+            "completed_requests": metrics_source["completed_requests"],
+            "generated_tokens": metrics_source["generated_tokens"],
+            "throughput_tokens_per_s": round(metrics_source["throughput"], 1),
+            "simulated_time_s": round(metrics_source["simulated_time_s"], 6),
+            "iterations": iterations,
+            "preemptions": metrics_source["preemptions"],
+            "p50_ttft_s": round(report.p50_ttft_s, 6),
+            "p99_ttft_s": round(report.p99_ttft_s, 6),
+            "p99_tpot_s": round(report.p99_tpot_s, 7),
+            "slo_attainment": round(report.attainment, 4),
+            "goodput_rps": round(report.goodput_rps, 3),
+        },
+    }
+
+
+def run_sweep(
+    grid: SweepGrid,
+    *,
+    max_workers: Optional[int] = None,
+    parallel: bool = True,
+) -> Dict[str, Any]:
+    """Execute every cell of ``grid`` and return the consolidated, validated payload.
+
+    ``parallel=True`` (default) fans cells over a ``ProcessPoolExecutor`` with
+    ``max_workers`` processes (executor default: ``os.cpu_count()``); ``parallel=False``
+    runs the cells inline, in order, in this process.  Either way the result rows are
+    ordered by cell index and — wall-clock fields aside — byte-identical between the two
+    modes: cells are seeded by parameter key and share no mutable state beyond the pure
+    per-process engine caches (see :func:`cells_identical`).
+    """
+    cells = grid.cells()
+    start = time.perf_counter()
+    if parallel and (max_workers is None or max_workers > 1) and len(cells) > 1:
+        workers = max_workers or (os.cpu_count() or 1)
+        chunksize = max(1, len(cells) // (4 * workers))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            results = list(executor.map(_run_cell, cells, chunksize=chunksize))
+    else:
+        workers = 1
+        results = [_run_cell(cell) for cell in cells]
+    wall_s = time.perf_counter() - start
+    payload = {
+        "benchmark": "repro.sweep",
+        "grid": grid.describe(),
+        "num_cells": len(cells),
+        "workers": workers,
+        "parallel": workers > 1,
+        "wall_time_s": round(wall_s, 3),
+        "cells": results,
+    }
+    validate_payload(payload, SWEEP_SCHEMA)
+    return payload
+
+
+def cells_identical(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    """True when two sweep payloads carry identical results (wall-clock fields aside).
+
+    The determinism check the benchmark harness gates on: a parallel sweep must
+    reproduce the serial sweep's simulated numbers byte for byte.
+    """
+
+    def strip(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+        return [
+            {key: value for key, value in cell.items() if key != "wall_time_s"}
+            for cell in payload["cells"]
+        ]
+
+    return strip(a) == strip(b)
+
+
+def write_sweep_json(payload: Dict[str, Any], path: str) -> str:
+    """Validate and write a consolidated sweep payload; returns the absolute path."""
+    validate_payload(payload, SWEEP_SCHEMA)
+    path = os.path.abspath(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="sweep.json", help="output JSON path")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: cpu count)")
+    parser.add_argument("--serial", action="store_true",
+                        help="run cells inline instead of process-parallel")
+    parser.add_argument("--num-requests", type=int, default=200,
+                        help="trace size per cell")
+    parser.add_argument("--systems", nargs="+", default=["liquidserve", "trt-fp16"])
+    parser.add_argument("--scheduling", nargs="+", default=["fcfs", "sjf"])
+    parser.add_argument("--preemption", nargs="+", default=["recompute", "hybrid"])
+    parser.add_argument("--rates", nargs="+", type=float, default=[15.0, 25.0])
+    args = parser.parse_args(argv)
+    grid = SweepGrid(
+        systems=tuple(args.systems),
+        scheduling_policies=tuple(args.scheduling),
+        preemption_policies=tuple(args.preemption),
+        arrival_rates_rps=tuple(args.rates),
+        num_requests=args.num_requests,
+    )
+    payload = run_sweep(grid, max_workers=args.workers, parallel=not args.serial)
+    path = write_sweep_json(payload, args.out)
+    print(
+        f"{payload['num_cells']} cells in {payload['wall_time_s']:.2f}s "
+        f"({payload['workers']} worker{'s' if payload['workers'] != 1 else ''}) -> {path}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ from repro.workloads.traces import (
     SHAREGPT_OUTPUTS,
     SHAREGPT_PROMPTS,
     ArrivalProcess,
+    LengthDistribution,
     generate_trace,
 )
 
@@ -150,6 +151,185 @@ class TestSchedulerEquivalence:
         assert fast.stats.simulated_time_s == slow.stats.simulated_time_s
         assert fast.stats.num_iterations == slow.stats.num_iterations
         assert fast.slo == slow.slo
+
+
+class TestMixedPhaseEquivalence:
+    """The mixed prefill+decode fast path: pinned-epoch jumps must be bit-identical on
+    exactly the workloads PR 4's decode-only fast-forward could not touch — prefill-heavy
+    traces, KV-pressure traces with starved chunks and parked swapped sequences, and the
+    chunk schedules a small ``prefill_chunk_tokens`` produces."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        trace=random_traces(),
+        prefill_chunk=st.sampled_from([32, 64, 256]),
+        max_batched_tokens=st.sampled_from([256, 512, None]),
+        kv_budget=st.sampled_from([256 * MB, GB, None]),
+        preemption=st.sampled_from(["recompute", "swap", "hybrid"]),
+    )
+    def test_random_chunk_schedules_bit_identical(
+        self, trace, prefill_chunk, max_batched_tokens, kv_budget, preemption
+    ):
+        kwargs = dict(
+            prefill_chunk_tokens=prefill_chunk,
+            max_batched_tokens=max_batched_tokens,
+            kv_budget_bytes=kv_budget,
+            host_kv_budget_bytes=GB,
+            preemption_policy=preemption,
+        )
+        sched_a, stepwise = _run(trace, fast_forward=False, **kwargs)
+        sched_b, fast = _run(trace, fast_forward=True, **kwargs)
+        assert sched_a.clock == sched_b.clock
+        assert_stats_identical(stepwise, fast)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        prompt_scale=st.integers(min_value=2, max_value=12),
+        kv_budget=st.sampled_from([2 * GB, 4 * GB, None]),
+        scheduling=st.sampled_from(["fcfs", "sjf", "fairness"]),
+    )
+    def test_prefill_heavy_traces_bit_identical(
+        self, prompt_scale, kv_budget, scheduling
+    ):
+        """Long prompts, short answers: the regime where almost every iteration carries
+        prefill chunks and the decode-only fast path never fired."""
+        trace = generate_trace(
+            30,
+            ArrivalProcess(rate_rps=25.0),
+            LengthDistribution.lognormal(
+                median=180.0 * prompt_scale, sigma=1.1, maximum=4096
+            ),
+            LengthDistribution.lognormal(median=40.0, sigma=0.9, maximum=512),
+            seed=prompt_scale,
+        )
+        kwargs = dict(
+            kv_budget_bytes=kv_budget,
+            host_kv_budget_bytes=GB,
+            preemption_policy="hybrid",
+            scheduling_policy=scheduling,
+        )
+        _, stepwise = _run(trace, fast_forward=False, **kwargs)
+        _, fast = _run(trace, fast_forward=True, **kwargs)
+        assert_stats_identical(stepwise, fast)
+
+    def test_kv_pressure_prefill_heavy_bit_identical(self):
+        """The acceptance workload shape: KV-constrained, prefill-heavy, hybrid
+        preemption — starved chunks, parked swapped sequences and preemption churn all
+        interleave with the jumps."""
+        trace = generate_trace(
+            80,
+            ArrivalProcess(rate_rps=16.0),
+            LengthDistribution.lognormal(median=1024.0, sigma=0.9, maximum=4096),
+            LengthDistribution.lognormal(median=200.0, sigma=0.8, maximum=1024),
+            seed=3,
+        )
+        kwargs = dict(
+            kv_budget_bytes=2 * GB, host_kv_budget_bytes=4 * GB,
+            preemption_policy="hybrid",
+        )
+        sched_a, stepwise = _run(trace, fast_forward=False, **kwargs)
+        sched_b, fast = _run(trace, fast_forward=True, **kwargs)
+        assert stepwise.preemptions > 0  # the scenario actually exercises churn
+        assert stepwise.prefill_chunks > len(trace)  # ...and real chunk schedules
+        assert sched_a.clock == sched_b.clock
+        assert_stats_identical(stepwise, fast)
+
+    def test_mixed_jump_matches_stepwise_twin(self):
+        """Drive two schedulers into the same mixed prefill+decode state; one jumps,
+        the other steps the same number of iterations — every observable must match."""
+
+        def build():
+            scheduler = ContinuousBatchingScheduler(
+                ServingEngine("liquidserve", "llama2-7b"), fast_forward=True
+            )
+            # One long prefill alongside three decoding residents.
+            for i in range(3):
+                scheduler.submit(Request(request_id=i, prompt_tokens=64,
+                                         output_tokens=400))
+            while not scheduler.in_steady_decode:
+                scheduler.step()
+            scheduler.submit(Request(request_id=99, prompt_tokens=4096,
+                                     output_tokens=4))
+            scheduler.step()  # admit: the mixed phase begins
+            assert scheduler._prefilling
+            return scheduler
+
+        fast = build()
+        step = build()
+        advanced = fast._fast_forward_mixed(None)
+        assert advanced > 1
+        for _ in range(advanced):
+            step.step()
+        assert fast.clock == step.clock
+        assert fast.kv_cache.num_free_blocks == step.kv_cache.num_free_blocks
+        assert_stats_identical(step.stats(), fast.stats())
+
+    def test_mixed_epoch_stops_before_prefill_completion(self):
+        scheduler = ContinuousBatchingScheduler(
+            ServingEngine("liquidserve", "llama2-7b"), fast_forward=True
+        )
+        scheduler.submit(Request(request_id=0, prompt_tokens=1000, output_tokens=4))
+        scheduler.step()  # admit + first chunk (256 of 1000)
+        # Remaining 744 at chunk 256: two full chunks are safe, the third completes.
+        assert scheduler._fast_forward_mixed(None) == 2
+        assert scheduler._fast_forward_mixed(None) == 0  # completing chunk: step only
+        scheduler.step()
+        assert scheduler._prefilling == [] and scheduler._running
+
+
+class TestMixedStepTimesVectorization:
+    """engine.mixed_step_times / mixed_iteration_time: one implementation, three entry
+    shapes — the scalar step path, the scalar epoch path and the vectorized epoch path
+    must agree bit for bit or fast-forward drifts from stepwise."""
+
+    @pytest.mark.parametrize("system,model,tp", [
+        ("liquidserve", "llama2-7b", 1),
+        ("trt-fp16", "llama2-13b", 1),
+        ("liquidserve", "llama2-70b", 4),
+    ])
+    def test_vectorized_matches_scalar_mixed_step(self, system, model, tp):
+        from repro.serving.engine import PrefillChunk
+
+        engine = ServingEngine(system, model, tp_degree=tp)
+        k, batch = 9, 5
+        import numpy as np
+
+        steps = np.arange(k, dtype=np.int64)
+        totals = 2000 + steps * batch
+        runs = [(256, 512 + steps * 256), (96, 64 + steps * 96)]
+        vectorized = engine.mixed_step_times(batch, totals, runs)
+        contexts = [100, 200, 300, 400, 1000]
+        for i in range(k):
+            chunks = [PrefillChunk(256, 512 + i * 256), PrefillChunk(96, 64 + i * 96)]
+            scalar = engine.mixed_step_time([c + i for c in contexts], chunks)
+            assert scalar == float(vectorized[i])
+            assert scalar == engine.mixed_iteration_time(
+                batch, 2000 + i * batch, [(256, 512 + i * 256), (96, 64 + i * 96)],
+                batch,
+            )
+
+    def test_pure_prefill_epoch(self):
+        from repro.serving.engine import PrefillChunk
+        import numpy as np
+
+        engine = ServingEngine("liquidserve", "llama2-7b")
+        steps = np.arange(6, dtype=np.int64)
+        vectorized = engine.mixed_step_times(0, None, [(256, steps * 256)])
+        for i in range(6):
+            assert float(vectorized[i]) == engine.mixed_step_time(
+                [], [PrefillChunk(256, i * 256)]
+            )
+
+    def test_no_chunks_delegates_to_decode_closed_form(self):
+        import numpy as np
+
+        engine = ServingEngine("liquidserve", "llama2-7b")
+        totals = 3000 + np.arange(4, dtype=np.int64) * 7
+        vectorized = engine.mixed_step_times(7, totals, [])
+        for i, total in enumerate(totals):
+            assert float(vectorized[i]) == engine.decode_iteration_time(7, int(total))
+        with pytest.raises(ValueError):
+            engine.mixed_step_times(0, None, [])
 
 
 class TestFastForwardUnit:
@@ -336,6 +516,35 @@ class TestClusterEquivalence:
         )
         assert fast.result.simulated_time_s == slow.result.simulated_time_s
         assert fast.result.kv_handoffs == slow.result.kv_handoffs
+        assert fast.result.kv_handoff_s == slow.result.kv_handoff_s
+        for a, b in zip(fast.replica_stats, slow.replica_stats):
+            assert_stats_identical(b, a)
+        assert fast.slo == slow.slo
+        assert fast.per_request == slow.per_request
+
+    @pytest.mark.parametrize("mode_kwargs", [
+        dict(mode="colocated", num_replicas=3, router="least-tokens"),
+        dict(mode="disaggregated", num_prefill_replicas=2, num_decode_replicas=2),
+    ])
+    def test_prefill_heavy_cluster_bit_identical(self, mode_kwargs):
+        """Mixed-phase jumps under the cluster drivers: prefill-heavy traffic keeps the
+        prefill replicas (and, co-located, every replica) inside chunk schedules, the
+        regime the event-indexed horizons must bound exactly."""
+        kwargs = dict(
+            num_requests=60, arrival_rate_rps=24.0, seed=7,
+            prompt_lengths=LengthDistribution.lognormal(
+                median=1024.0, sigma=0.9, maximum=4096
+            ),
+            output_lengths=LengthDistribution.lognormal(
+                median=64.0, sigma=0.8, maximum=512
+            ),
+            **mode_kwargs,
+        )
+        fast = simulate_cluster("liquidserve", "llama2-7b", **kwargs)
+        slow = simulate_cluster(
+            "liquidserve", "llama2-7b", fast_forward=False, **kwargs
+        )
+        assert fast.result.simulated_time_s == slow.result.simulated_time_s
         assert fast.result.kv_handoff_s == slow.result.kv_handoff_s
         for a, b in zip(fast.replica_stats, slow.replica_stats):
             assert_stats_identical(b, a)

@@ -250,3 +250,43 @@ class TestScheduler:
         engine = ServingEngine("trt-fp16", "llama2-70b")
         with pytest.raises(Exception):
             ContinuousBatchingScheduler(engine)
+
+
+class TestBoundedMemoCaches:
+    """The engine's step-cost memos must stay bounded (long multi-config sweeps reuse
+    one engine) and observable (the cache-stats debug hook), without ever changing
+    results — every entry is a pure function of its key."""
+
+    def test_cache_stats_shape_and_growth(self):
+        engine = ServingEngine("liquidserve", "llama2-7b")
+        stats = engine.cache_stats()
+        assert set(stats) == {
+            "layer_gemm", "lm_head", "layer_others", "allreduce",
+            "decode_step", "decode_coeffs", "chunk_attention",
+        }
+        for entry in stats.values():
+            assert entry == {"entries": 0, "max_entries": 65536, "evictions": 0}
+        engine.decode_iteration_time(4, 4096)
+        stats = engine.cache_stats()
+        assert stats["decode_step"]["entries"] == 1
+        assert stats["decode_coeffs"]["entries"] == 1
+
+    def test_eviction_bounds_entries_and_preserves_values(self):
+        tiny = ServingEngine("liquidserve", "llama2-7b", memo_cache_entries=8)
+        reference = ServingEngine("liquidserve", "llama2-7b")
+        values = {
+            total: tiny.decode_iteration_time(2, total)
+            for total in range(100, 100 + 40)
+        }
+        stats = tiny.cache_stats()["decode_step"]
+        assert stats["entries"] <= 8
+        assert stats["evictions"] == 40 - 8
+        # Re-computing an evicted key gives the identical value: eviction is invisible
+        # to results, only to memory.
+        for total, value in values.items():
+            assert tiny.decode_iteration_time(2, total) == value
+            assert reference.decode_iteration_time(2, total) == value
+
+    def test_memo_cache_entries_validated(self):
+        with pytest.raises(ValueError, match="positive"):
+            ServingEngine("liquidserve", "llama2-7b", memo_cache_entries=0)
