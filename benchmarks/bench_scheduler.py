@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Performance harness for the request-level scheduler simulation.
 
-Eight sections, written to ``BENCH_scheduler.json`` at the repository root so subsequent PRs
+Nine sections, written to ``BENCH_scheduler.json`` at the repository root so subsequent PRs
 can track both simulator wall-time (is the scheduler hot loop regressing?) and the simulated
 serving metrics (did a change silently alter the model?):
 
@@ -22,6 +22,11 @@ serving metrics (did a change silently alter the model?):
   co-located 4-replica cluster vs. a disaggregated 2-prefill + 2-decode cluster
   (DistServe-style KV handoff over the interconnect); ``disagg_p99_ttft_improves`` asserts
   disaggregation cuts p99 TTFT by removing prefill/decode interference;
+* ``prefix_cache`` — the radix-tree prefix-caching A/B: one agent-swarm trace (every agent
+  in a swarm shares the swarm's growing base context) served with the prefix cache on and
+  off; ``p99_ttft_improves_ge_1_5x`` asserts fork-on-admit cuts p99 TTFT by at least 1.5x
+  on this shared-prefix workload, and the simulated token counts are asserted identical
+  between the two runs (the cache may only change *when* tokens appear, never *what* runs);
 * ``scale`` — the fast-forward stress sections: a 20,000-request ShareGPT trace through one
   replica and a 4,000-request trace through a 16-replica co-located cluster behind the
   least-outstanding-tokens router (the O(1) incremental load counter's worst customer).
@@ -50,6 +55,7 @@ the first place to look when ``harness.iterations_per_s`` regresses.
 """
 
 import argparse
+import copy
 import cProfile
 import csv
 import json
@@ -59,9 +65,14 @@ import time
 
 from repro.core import simulate_cluster, simulate_serving
 from repro.reporting.schema import validate_payload as _validate_schema
-from repro.serving import ServingEngine, SloSpec
+from repro.serving import (
+    ContinuousBatchingScheduler,
+    ServingEngine,
+    SloSpec,
+    compute_slo_report,
+)
 from repro.sweep import SINGLE_REPLICA, SweepGrid, cells_identical, run_sweep, write_sweep_json
-from repro.workloads.traces import LengthDistribution
+from repro.workloads.traces import LengthDistribution, agent_swarm_trace
 
 RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_scheduler.json")
 #: Fast mode writes here instead, so a CI/local --fast run can never overwrite the
@@ -117,6 +128,13 @@ SCALE_CLUSTER_RPS = 160.0
 MIXED_PROMPTS = LengthDistribution.lognormal(median=1024.0, sigma=0.9, maximum=4096)
 MIXED_OUTPUTS = LengthDistribution.lognormal(median=200.0, sigma=0.8, maximum=1024)
 MIXED_ARRIVAL_RPS = 16.0
+
+#: Prefix-cache A/B workload: an agent-swarm trace — every agent in a swarm prompts with
+#: the swarm's shared base context plus the shared transcript of all prior steps, so the
+#: shareable prefix *grows* as the swarm progresses (the regime RadixAttention targets).
+#: Served on the default (unconstrained) device pool: the A/B isolates prefill savings,
+#: the eviction path is exercised by the tier-1 suite under shrunk pools.
+PREFIX_AB_ARRIVAL_RPS = 12.0
 
 #: Sweep section grid: 16 cells (2 systems x 2 preemption policies x 2 arrival rates x
 #: 2 cluster shapes) on the KV-constrained workload, executed serially and with 4 worker
@@ -192,6 +210,13 @@ SCHEMA = {
         "workload": dict,
         "configs": dict,  # "colocated" / "disaggregated" -> per-config metrics
         "disagg_p99_ttft_improves": bool,
+    },
+    "prefix_cache": {
+        "workload": dict,
+        "harness": {"wall_time_s": float, "iterations_per_s": float},
+        "configs": dict,  # "cache_on" / "cache_off" -> per-config metrics
+        "p99_ttft_speedup": float,
+        "p99_ttft_improves_ge_1_5x": bool,
     },
     "scale": {
         "trace": {
@@ -559,6 +584,87 @@ def bench_cluster_ab(num_requests: int) -> dict:
     }
 
 
+def bench_prefix_cache(num_swarms: int, agents_per_swarm: int,
+                       steps_per_swarm: int) -> dict:
+    """Radix prefix-cache A/B: one agent-swarm trace with fork-on-admit on and off.
+
+    Both runs are best-of-three on the identical trace (requests copied per run — the
+    scheduler mutates them).  The cache must not change *what* is served, only when:
+    completed requests and generated tokens are asserted identical before anything is
+    reported.  The acceptance flag compares the raw p99 TTFTs, so payload rounding
+    cannot flip the CI verdict.
+    """
+    trace = agent_swarm_trace(
+        num_swarms, agents_per_swarm, steps_per_swarm, PREFIX_AB_ARRIVAL_RPS, seed=0,
+    )
+
+    def best_of(prefix_caching):
+        wall, stats = float("inf"), None
+        for _ in range(3):
+            scheduler = ContinuousBatchingScheduler(
+                ServingEngine("liquidserve", "llama2-7b"),
+                prefix_caching=prefix_caching,
+            )
+            requests = [copy.copy(r) for r in trace]
+            start = time.perf_counter()
+            stats = scheduler.run(requests)
+            wall = min(wall, time.perf_counter() - start)
+        report = compute_slo_report(stats.requests, AB_SLO, stats.simulated_time_s)
+        return stats, report, wall
+
+    on_stats, on_report, on_wall = best_of(True)
+    off_stats, off_report, off_wall = best_of(False)
+    if (
+        on_stats.completed_requests != off_stats.completed_requests
+        or on_stats.generated_tokens != off_stats.generated_tokens
+    ):  # pragma: no cover - pinned by the tier-1 suite
+        raise SystemExit("prefix_cache: caching changed the served population")
+
+    def summarize(stats, report, wall_s):
+        return {
+            "completed_requests": stats.completed_requests,
+            "generated_tokens": stats.generated_tokens,
+            "throughput_tokens_per_s": round(stats.throughput_tokens_per_s, 1),
+            "iterations": stats.num_iterations,
+            "prefill_chunks": stats.prefill_chunks,
+            "p50_ttft_s": round(report.p50_ttft_s, 4),
+            "p99_ttft_s": round(report.p99_ttft_s, 4),
+            "goodput_rps": round(report.goodput_rps, 2),
+            "prefix_hit_rate": round(stats.prefix_hit_rate, 4),
+            "prefix_saved_tokens": stats.prefix_saved_tokens,
+            "prefix_blocks_inserted": stats.prefix_blocks_inserted,
+            "prefix_blocks_evicted": stats.prefix_blocks_evicted,
+            "wall_time_s": round(wall_s, 4),
+        }
+
+    return {
+        "workload": {
+            "system": "liquidserve",
+            "model": "llama2-7b",
+            "device": "H800",
+            "trace": "agent-swarm",
+            "num_swarms": num_swarms,
+            "agents_per_swarm": agents_per_swarm,
+            "steps_per_swarm": steps_per_swarm,
+            "num_requests": len(trace),
+            "arrival": f"swarm-steps-{PREFIX_AB_ARRIVAL_RPS:g}rps",
+            "seed": 0,
+            "slo": {"ttft_s": AB_SLO.ttft_s, "tpot_s": AB_SLO.tpot_s},
+        },
+        "harness": {
+            "wall_time_s": round(on_wall, 4),
+            "iterations_per_s": round(on_stats.num_iterations / on_wall, 1),
+        },
+        "configs": {
+            "cache_on": summarize(on_stats, on_report, on_wall),
+            "cache_off": summarize(off_stats, off_report, off_wall),
+        },
+        "p99_ttft_speedup": round(off_report.p99_ttft_s / on_report.p99_ttft_s, 2),
+        "p99_ttft_improves_ge_1_5x":
+            off_report.p99_ttft_s >= 1.5 * on_report.p99_ttft_s,
+    }
+
+
 def bench_scale() -> dict:
     """Fast-forward stress sections: the workloads stepwise execution cannot serve in CI.
 
@@ -687,6 +793,8 @@ def main() -> None:
     cluster_requests = 60 if args.fast else 200
     mixed_requests = 150 if args.fast else 300
     sweep_requests = 40 if args.fast else 150
+    # swarms x agents x steps requests; the full trace is 4*6*5 = 120 requests.
+    prefix_shape = (2, 4, 3) if args.fast else (4, 6, 5)
 
     _warm_up()
     trace_sim, trace_section = bench_trace_simulation(trace_requests,
@@ -699,6 +807,7 @@ def main() -> None:
         "preemption_ab": bench_preemption_ab(ab_requests),
         "scheduling_ab": bench_scheduling_ab(ab_requests),
         "cluster_ab": bench_cluster_ab(cluster_requests),
+        "prefix_cache": bench_prefix_cache(*prefix_shape),
         "scale": bench_scale(),
         "sweep": bench_sweep(sweep_requests, fast_mode=args.fast),
         "tensor_parallel_llama2_70b": bench_tensor_parallel(),
@@ -722,6 +831,7 @@ def main() -> None:
             ("preemption_ab", "hybrid_goodput_ge_recompute"),
             ("scheduling_ab", "sjf_p99_ttft_improves"),
             ("cluster_ab", "disagg_p99_ttft_improves"),
+            ("prefix_cache", "p99_ttft_improves_ge_1_5x"),
             ("sweep", "parallel_matches_serial"),
         )
         if not payload[section][flag]

@@ -10,7 +10,10 @@ fast-forward machinery:
 * ``trace_simulation`` — the decode-dominated path (analytic decode jumps);
 * ``mixed_phase`` — the KV-constrained prefill-heavy path (pinned mixed-epoch jumps),
   which ran interpretively before PR 5 and would silently fall back to interpretive
-  again if the mixed fast path regressed.
+  again if the mixed fast path regressed;
+* ``prefix_cache`` — the shared-prefix agent-swarm path with the radix cache enabled,
+  guarding both the O(prefix blocks) trie lookups in admission and the cache-enabled
+  fast-forward proofs (a cache bug that forced stepwise execution would crater this).
 
 The fraction is deliberately generous (default 0.5x): CI runners are slower and noisier
 than the machines that set the baselines, and this gate exists to catch *algorithmic*
@@ -46,6 +49,7 @@ def main() -> int:
     for section, baseline_key in (
         ("trace_simulation", "trace_simulation_iterations_per_s"),
         ("mixed_phase", "mixed_phase_iterations_per_s"),
+        ("prefix_cache", "prefix_cache_iterations_per_s"),
     ):
         measured = float(payload[section]["harness"]["iterations_per_s"])
         reference = float(baseline[baseline_key])

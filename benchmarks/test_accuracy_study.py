@@ -7,7 +7,6 @@ reconstruction errors on realistic synthetic weight distributions must match QSe
 progressive quantization and plain round-to-nearest INT4.
 """
 
-import pytest
 
 from repro.accuracy import run_accuracy_study
 from repro.reporting import format_table

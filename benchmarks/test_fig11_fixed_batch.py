@@ -6,7 +6,6 @@ bars mean the configuration does not fit in 80 GB.  LiquidServe must lead in eve
 configuration, as in the paper.
 """
 
-import pytest
 
 from repro.reporting import format_table
 from repro.serving import ServingEngine, TABLE1_SYSTEMS

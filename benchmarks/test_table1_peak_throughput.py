@@ -6,10 +6,9 @@ size swept to find the peak.  Reported exactly as the paper does: tokens/s with 
 size in parentheses, OOM/NA where the configuration cannot run.
 """
 
-import pytest
 
 from repro.reporting import format_table
-from repro.serving import ServingEngine, TABLE1_SYSTEMS, list_models
+from repro.serving import ServingEngine, TABLE1_SYSTEMS
 
 MODELS = ["llama1-30b", "llama2-7b", "llama2-13b", "llama2-70b",
           "llama3-8b", "mistral-7b", "yi-34b", "mixtral-8x7b"]

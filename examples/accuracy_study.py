@@ -12,7 +12,7 @@ Run:  python examples/accuracy_study.py
 import numpy as np
 
 from repro.accuracy import run_accuracy_study
-from repro.quant import grid_search_alpha, lqq_quantize, lqq_dequantize_fp, smooth_and_quantize
+from repro.quant import lqq_quantize, lqq_dequantize_fp, smooth_and_quantize
 from repro.reporting import format_table
 
 

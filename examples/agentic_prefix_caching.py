@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: radix-tree prefix caching on an agentic workload.
+
+Serves one agent-swarm trace twice through the continuous-batching scheduler — with the
+prefix cache off, then on.  In an agent swarm every agent's prompt opens with the swarm's
+shared base context plus the shared transcript of all prior steps, so the shareable
+prefix *grows* as the swarm progresses: exactly the workload RadixAttention-style caching
+targets.  With the cache on, the first agent to prefill a step publishes its full KV
+blocks into a radix tree; every later agent forks those blocks at admission (one
+refcount bump per block, zero new memory) and prefills only its private scratchpad.
+
+The two runs complete the same requests and generate the same tokens — caching changes
+*when* first tokens appear, never what is served — so the TTFT deltas printed below are
+pure prefill savings.
+
+Run:  PYTHONPATH=src python examples/agentic_prefix_caching.py
+"""
+
+import copy
+
+from repro.serving import (
+    ContinuousBatchingScheduler,
+    ServingEngine,
+    SloSpec,
+    compute_slo_report,
+)
+from repro.workloads.traces import agent_swarm_trace
+
+#: 4 swarms x 6 agents x 5 steps = 120 requests; each step adds 256 shared tokens on
+#: top of a 512-token shared base context.
+TRACE = agent_swarm_trace(4, 6, 5, 12.0, seed=0)
+SLO = SloSpec(ttft_s=2.0, tpot_s=0.1)
+
+
+def serve(prefix_caching):
+    scheduler = ContinuousBatchingScheduler(
+        ServingEngine("liquidserve", "llama2-7b"),
+        prefix_caching=prefix_caching,
+    )
+    stats = scheduler.run([copy.copy(r) for r in TRACE])  # run() mutates its requests
+    report = compute_slo_report(stats.requests, SLO, stats.simulated_time_s)
+    return stats, report
+
+
+def describe(label, stats, report):
+    print(f"\n{label}")
+    print(f"  completed {stats.completed_requests} requests, "
+          f"{stats.generated_tokens:,} tokens in {stats.simulated_time_s:.2f} s simulated")
+    print(f"  TTFT   p50 {report.p50_ttft_s * 1e3:7.1f} ms   "
+          f"p99 {report.p99_ttft_s * 1e3:7.1f} ms")
+    print(f"  goodput {report.goodput_rps:.2f} req/s")
+    if stats.prefix_cache_hits:
+        print(f"  cache: {stats.prefix_cache_hits}/{stats.prefix_cache_hits + stats.prefix_cache_misses} "
+              f"admissions hit ({stats.prefix_hit_rate:.0%}), "
+              f"{stats.prefix_saved_tokens:,} prefill tokens skipped, "
+              f"{stats.prefix_blocks_inserted} blocks published, "
+              f"{stats.prefix_blocks_evicted} evicted")
+
+
+def main():
+    off_stats, off_report = serve(prefix_caching=False)
+    describe("cache off (every agent re-prefills the shared context)",
+             off_stats, off_report)
+
+    on_stats, on_report = serve(prefix_caching=True)
+    describe("cache on (fork-on-admit from the radix tree)", on_stats, on_report)
+
+    assert on_stats.generated_tokens == off_stats.generated_tokens  # identical service
+    p50 = off_report.p50_ttft_s / on_report.p50_ttft_s
+    p99 = off_report.p99_ttft_s / on_report.p99_ttft_s
+    print(f"\nPrefix caching cuts TTFT {p50:.2f}x at p50 and {p99:.2f}x at p99 on this "
+          f"swarm —\nthe shared transcript is prefilled once per step instead of once "
+          f"per agent.")
+
+
+if __name__ == "__main__":
+    main()

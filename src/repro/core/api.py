@@ -22,7 +22,7 @@ Everything here is a thin composition of the subpackages; power users should use
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -138,6 +138,8 @@ def simulate_serving(
     num_priority_levels: int = 1,
     slo: Optional[SloSpec] = None,
     fast_forward: bool = True,
+    prefix_caching: bool = False,
+    shared_prefix_tokens: int = 0,
 ) -> ServingSimulation:
     """Run a trace-driven request-level serving simulation end to end.
 
@@ -154,6 +156,12 @@ def simulate_serving(
     the trace for the 'priority' scheduling policy.  ``fast_forward`` (default on) advances
     steady decode-only phases analytically instead of iterating them — bit-identical
     results, order-of-magnitude faster wall clock; disable it to drive every iteration.
+
+    ``prefix_caching`` turns on the radix-tree prefix cache (fork-on-admit of cached
+    blocks, LRU eviction under KV pressure); ``shared_prefix_tokens > 0`` stamps every
+    trace request with that many leading shareable tokens (a common system prompt), which
+    is the simplest workload that exercises it — the generators in
+    :mod:`repro.workloads.traces` build richer shared-prefix traces.
     """
     engine = ServingEngine(system, model, device=device, tp_degree=tp_degree)
     scheduler = ContinuousBatchingScheduler(
@@ -167,6 +175,7 @@ def simulate_serving(
         host_kv_budget_bytes=host_kv_budget_bytes,
         overlap_swap_transfers=overlap_swap_transfers,
         fast_forward=fast_forward,
+        prefix_caching=prefix_caching,
     )
     trace = generate_trace(
         num_requests,
@@ -175,6 +184,7 @@ def simulate_serving(
         output_lengths or SHAREGPT_OUTPUTS,
         seed=seed,
         num_priority_levels=num_priority_levels,
+        shared_prefix_tokens=shared_prefix_tokens,
     )
     stats = scheduler.run(trace)
     return ServingSimulation(
@@ -250,6 +260,8 @@ def simulate_cluster(
     num_priority_levels: int = 1,
     slo: Optional[SloSpec] = None,
     fast_forward: bool = True,
+    prefix_caching: bool = False,
+    shared_prefix_tokens: int = 0,
 ) -> ClusterSimulation:
     """Run a trace-driven simulation of a multi-replica serving cluster end to end.
 
@@ -262,6 +274,10 @@ def simulate_cluster(
     ``num_replicas`` there is an error rather than silently ignored.
     ``simulate_cluster(num_replicas=1)`` is, by construction, exactly
     :func:`simulate_serving` — the equivalence the test suite pins.
+
+    ``prefix_caching`` gives every replica its own radix-tree prefix cache (pair with
+    ``router="cache-affinity"`` so shared-prefix requests land where their prefix lives);
+    ``shared_prefix_tokens`` stamps the generated trace as in :func:`simulate_serving`.
     """
     spec = ClusterSpec(
         mode=mode,
@@ -285,6 +301,7 @@ def simulate_cluster(
         host_kv_budget_bytes=host_kv_budget_bytes,
         overlap_swap_transfers=overlap_swap_transfers,
         fast_forward=fast_forward,
+        prefix_caching=prefix_caching,
     )
     trace = generate_trace(
         num_requests,
@@ -293,6 +310,7 @@ def simulate_cluster(
         output_lengths or SHAREGPT_OUTPUTS,
         seed=seed,
         num_priority_levels=num_priority_levels,
+        shared_prefix_tokens=shared_prefix_tokens,
     )
     result = cluster.run(trace)
     first = cluster.replicas[0]

@@ -24,7 +24,7 @@ and feeds every kernel's latency estimate.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..gpu.specs import GpuSpec, Precision

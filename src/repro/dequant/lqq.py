@@ -26,7 +26,6 @@ in Section 4 (and re-checked at run time by :func:`repro.quant.liquidquant.lqq_d
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np

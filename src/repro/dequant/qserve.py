@@ -23,7 +23,6 @@ from ..isa import (
     and_b32,
     broadcast_byte,
     imad_u32,
-    mul_lo_u32,
     shr_b32,
     to_u32,
     vsub4_lowered,

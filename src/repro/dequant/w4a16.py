@@ -13,7 +13,7 @@ with float64 (FP16 rounding of the scales is not relevant to any measured quanti
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -12,12 +12,11 @@ small occupancy calculator used by the kernels to pick ``L``.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
-from .memory import GlobalMemory, OutOfMemoryError, RegisterFile, SharedMemory, bytes_for
-from .specs import GpuSpec, Precision, get_gpu
+from .memory import GlobalMemory, RegisterFile, SharedMemory, bytes_for
+from .specs import GpuSpec, get_gpu
 
 __all__ = [
     "WarpGroupRole",

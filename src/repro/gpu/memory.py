@@ -17,7 +17,7 @@ instead of silently producing meaningless latencies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from .specs import GpuSpec, Precision
 

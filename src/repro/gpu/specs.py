@@ -13,8 +13,8 @@ same convention as the paper and NVIDIA datasheets).  Memory bandwidth is bytes 
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 __all__ = [
     "Precision",

@@ -18,7 +18,7 @@ closed-form combination rule.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict
 
 from ..costmodel.model import KernelCostParams, PipelineMode
 from ..dequant.lqq import lqq_alpha

@@ -10,12 +10,10 @@ paper, or standard kernel-engineering facts).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
-from ..costmodel.model import GemmShape, KernelCostParams, PipelineMode
+from ..costmodel.model import KernelCostParams, PipelineMode
 from ..dequant.qserve import qserve_alpha
 from ..dequant.w4a16 import w4a16_alpha
 from ..gpu.specs import GpuSpec, Precision

@@ -19,15 +19,12 @@ instruction pressure on CUDA cores) and compared against the dual-MMA packed lay
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict
 
-import numpy as np
 
 from ..gpu.memory import smem_bank_conflicts
 from .fragment import (
     FRAGMENT_COLS,
-    FRAGMENT_ROWS,
-    GROUP_WIDTH,
     THREADS_PER_WARP,
     WARPS_PER_WARP_GROUP,
     thread_fragment_elements,

@@ -20,7 +20,7 @@ load-analysis counterpart to :func:`repro.layout.conventional.analyze_convention
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -19,7 +19,6 @@ not change any result other than the raw addresses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Tuple
 
 import numpy as np

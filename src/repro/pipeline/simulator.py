@@ -25,7 +25,7 @@ winning everywhere, grouped/MoE GEMMs benefiting the most).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from .timing import IterationTiming
 

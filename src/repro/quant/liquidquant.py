@@ -30,12 +30,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from .base import (
-    PROTECTIVE_INT8,
     UINT4_RANGE,
     UINT8_RANGE,
-    IntRange,
-    QuantGranularity,
-    QuantParams,
     group_reshape,
     group_unreshape,
     quantization_error,

@@ -166,6 +166,7 @@ class ServingCluster:
         host_kv_budget_bytes: Optional[int] = None,
         overlap_swap_transfers: bool = False,
         fast_forward: bool = True,
+        prefix_caching: bool = False,
         engine: Optional[ServingEngine] = None,
     ):
         self.spec = spec or ClusterSpec()
@@ -190,6 +191,7 @@ class ServingCluster:
                 host_kv_budget_bytes=host_kv_budget_bytes,
                 overlap_swap_transfers=overlap_swap_transfers,
                 fast_forward=fast_forward,
+                prefix_caching=prefix_caching,
             )
             self.replicas.append(Replica(replica_id, role, engine, scheduler))
         self.prefill_replicas = [

@@ -28,7 +28,6 @@ group (the GPUs run in lockstep, so per-GPU step time is group step time).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -36,7 +35,6 @@ import numpy as np
 
 from ..costmodel.model import GemmShape, gemm_cost
 from ..gpu.device import Device
-from ..gpu.specs import Precision
 from ..kernels.base import GemmKernel, as_device
 from ..kernels.registry import get_kernel
 from ..quant.kvcache import kv_bytes_per_element
@@ -47,9 +45,7 @@ from .attention import (
     chunked_prefill_attention_cost,
     chunked_prefill_attention_times,
     decode_attention_cost,
-    decode_attention_cost_from_totals,
     prefill_attention_cost,
-    ragged_decode_attention_cost,
 )
 from .kvcache import KvCacheConfig, PagedKvCache
 from .models import ModelConfig, get_model
@@ -695,13 +691,28 @@ class ServingEngine:
             logits_tokens = decode_batch
         return per_layer * self.model.num_layers + self.lm_head_time(logits_tokens)
 
-    def prefill_time(self, batch_size: int, prompt_length: int) -> float:
+    def prefill_time(self, batch_size: int, prompt_length: int,
+                     cached_prefix_tokens: int = 0) -> float:
         """Approximate prompt-processing time for a batch of requests.
 
         Prefill GEMMs are compute-bound; we charge one GPU's share of the model's full
         forward FLOPs at a sustained fraction of the Tensor-Core peak, plus the quadratic
         attention term and the per-layer tensor-parallel all-reduces.
+
+        ``cached_prefix_tokens`` models a prefix-cache hit (fork-on-admit): the first
+        ``cached_prefix_tokens`` positions' KV is already resident, so only the suffix is
+        processed.  Under causal attention the suffix's cost is exactly the full prefill
+        minus a prefill of the cached head alone — positions ``C..L`` run their GEMMs,
+        communication and attention over everything before them.
         """
+        if cached_prefix_tokens:
+            if not 0 <= cached_prefix_tokens < prompt_length:
+                raise ValueError(
+                    "cached_prefix_tokens must be in [0, prompt_length)"
+                )
+            return self.prefill_time(batch_size, prompt_length) - self.prefill_time(
+                batch_size, cached_prefix_tokens
+            )
         flops = 2.0 * batch_size * prompt_length * self.model.active_params_per_token() / self.tp_degree
         mma_precision = self.kernel.cost_params(self.device.spec).mma_precision
         peak = self.device.spec.tensor_core_throughput(mma_precision)

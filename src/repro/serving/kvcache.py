@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Optional, Set
+from typing import Dict, List
 
 from ..quant.kvcache import kv_bytes_per_element
 from .models import ModelConfig
@@ -191,6 +191,40 @@ class PagedKvCache:
         self._ref_counts[block] = remaining
         return 0
 
+    def block_ref_count(self, block: int) -> int:
+        """Current reference count of a physical block (0 when free)."""
+        return self._ref_counts.get(block, 0)
+
+    def retain_block(self, block: int) -> None:
+        """Take one extra reference on an allocated block.
+
+        This is how a prefix cache keeps a published block alive after the sequence that
+        prefilled it is freed: the cache holds one reference per cached block, live
+        sequences hold theirs, and the block returns to the free pool only when the last
+        holder releases it.
+        """
+        if block not in self._ref_counts:
+            raise KeyError(f"block {block} is not allocated")
+        self._ref_counts[block] += 1
+
+    def release_block(self, block: int) -> int:
+        """Drop one reference on an allocated block; returns 1 if it went back to the pool."""
+        if block not in self._ref_counts:
+            raise KeyError(f"block {block} is not allocated")
+        return self._release_block(block)
+
+    def shares_blocks(self, seq_id: int) -> bool:
+        """True when any of a resident sequence's blocks is shared (fork or prefix cache).
+
+        Such a sequence cannot be swapped out; victim selection uses this to prefer
+        swappable residents under swap-leaning preemption policies.
+        """
+        state = self._sequences.get(seq_id)
+        if state is None:
+            return False
+        ref_counts = self._ref_counts
+        return any(ref_counts[b] > 1 for b in state.blocks)
+
     # ------------------------------------------------------------------ mutation
     def add_sequence(self, seq_id: int, prompt_tokens: int) -> SequenceState:
         """Admit a new sequence with its prompt already cached (prefill)."""
@@ -278,9 +312,12 @@ class PagedKvCache:
 
         The fast-forward bulk path: one call grows a whole decode batch by ``num_tokens``
         tokens each, with the block math inlined per sequence.  The caller guarantees no
-        sequence shares blocks with a fork (the scheduler's pool never forks), so the
-        copy-on-write tail check is skipped; allocation remains all-or-nothing per
-        sequence, and callers pre-check total demand so exhaustion cannot strike midway.
+        sequence's *partial tail block* is shared, so the copy-on-write tail check is
+        skipped.  The scheduler satisfies this even with prefix caching enabled: cache
+        shares (:meth:`fork_from_blocks`, published prefixes) are always block-aligned,
+        so a shared block is never the growing tail.  Allocation remains all-or-nothing
+        per sequence, and callers pre-check total demand so exhaustion cannot strike
+        midway.
         """
         if num_tokens < 0:
             raise ValueError("num_tokens must be non-negative")
@@ -339,6 +376,31 @@ class PagedKvCache:
                               blocks=list(parent.blocks))
         self._sequences[child_id] = child
         return child
+
+    def fork_from_blocks(self, seq_id: int, blocks: List[int]) -> SequenceState:
+        """Admit a sequence that starts life sharing ``blocks`` (prefix-cache fork-on-admit).
+
+        The blocks must be allocated (typically held by a prefix cache) and are taken as a
+        *full-block* prefix: the new sequence holds ``len(blocks) * block_tokens`` tokens of
+        already-computed KV and grows past them with fresh allocations.  Because the shared
+        span is block-aligned, the shared blocks can never become a partially-filled tail,
+        so growth never triggers the copy-on-write path.
+        """
+        if seq_id in self._sequences or seq_id in self._swapped:
+            raise ValueError(f"sequence {seq_id} already resident")
+        ref_counts = self._ref_counts
+        for block in blocks:
+            if block not in ref_counts:
+                raise KeyError(f"block {block} is not allocated")
+        for block in blocks:
+            ref_counts[block] += 1
+        state = SequenceState(
+            seq_id=seq_id,
+            num_tokens=len(blocks) * self.config.block_tokens,
+            blocks=list(blocks),
+        )
+        self._sequences[seq_id] = state
+        return state
 
     def free_sequence(self, seq_id: int) -> int:
         """Release a finished sequence (device- or host-resident); returns blocks freed."""

@@ -94,6 +94,11 @@ class SloReport:
     #: Mean arrival -> first-scheduled delay (router/admission queueing), 0.0 when the
     #: population recorded no scheduling timestamps.
     mean_queue_time_s: float = 0.0
+    #: Prefix-caching outcome over the completed population (both 0 with caching off):
+    #: the fraction of requests whose final admission pass was seeded from the cache, and
+    #: the prefill tokens that seeding skipped in total.
+    prefix_hit_rate: float = 0.0
+    prefix_saved_tokens: int = 0
 
     @property
     def attainment(self) -> float:
@@ -133,6 +138,8 @@ def compute_slo_report(requests: Iterable, slo: Optional[SloSpec] = None,
                        makespan_s: float = 0.0) -> SloReport:
     """Summarize a completed request population against ``slo``."""
     slo = slo or SloSpec()
+    requests = list(requests)
+    cached = [getattr(r, "cached_prefix_tokens", 0) for r in requests]
     metrics = request_metrics(requests)
     ttfts = [m.ttft_s for m in metrics]
     # TPOT is undefined for single-token answers (tpot_s = 0.0): they meet any TPOT SLO
@@ -163,4 +170,8 @@ def compute_slo_report(requests: Iterable, slo: Optional[SloSpec] = None,
         p50_latency_s=percentile(latencies, 50, sorted_values=True),
         p99_latency_s=percentile(latencies, 99, sorted_values=True),
         mean_queue_time_s=_mean([m.queue_time_s for m in metrics]),
+        prefix_hit_rate=(
+            sum(1 for c in cached if c > 0) / len(requests) if requests else 0.0
+        ),
+        prefix_saved_tokens=int(sum(cached)),
     )

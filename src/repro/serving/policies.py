@@ -116,6 +116,12 @@ class PreemptionPolicy:
     RECOMPUTE = "recompute"
     SWAP = "swap"
 
+    #: True for policies that want swap when feasible.  Victim selection uses this to
+    #: steer around residents whose blocks are shared (a fork, or a prefix-cache seed):
+    #: such a victim can never swap — ``swap_out`` refuses to split shared blocks — so
+    #: picking it would silently waste the policy's host pool on a recompute fallback.
+    prefers_swap = False
+
     def decide(self, victim: "Request", engine: "ServingEngine",
                kv_cache: "PagedKvCache") -> str:
         raise NotImplementedError
@@ -134,6 +140,7 @@ class SwapPreemption(PreemptionPolicy):
     """Swap to host memory whenever the host pool has room; recompute only as fallback."""
 
     name = "swap"
+    prefers_swap = True
 
     def decide(self, victim, engine, kv_cache) -> str:
         if kv_cache.can_swap_out(victim.request_id):
@@ -150,6 +157,7 @@ class CostBasedPreemption(PreemptionPolicy):
     """
 
     name = "hybrid"
+    prefers_swap = True
 
     def __init__(self, threshold: float = 1.0):
         if threshold <= 0:

@@ -21,7 +21,7 @@ a fresh instance per cluster — one router must never be shared between cluster
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Sequence, Type, Union
+from typing import TYPE_CHECKING, Dict, Sequence, Type, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .cluster import Replica
@@ -32,6 +32,7 @@ __all__ = [
     "RoundRobinRouter",
     "LeastOutstandingTokensRouter",
     "LeastKvLoadRouter",
+    "CacheAffinityRouter",
     "DisaggregatedRouter",
     "ROUTER_POLICIES",
     "get_router_policy",
@@ -128,6 +129,36 @@ class LeastKvLoadRouter(RouterPolicy):
         return _least_kv(replicas)
 
 
+class CacheAffinityRouter(RouterPolicy):
+    """Send each request to the replica whose prefix cache matches it deepest.
+
+    Per-replica prefix caches make placement sticky: a request sharing a system prompt,
+    RAG template or agent transcript only benefits if it lands where that prefix was
+    prefilled.  The router probes every candidate's cache with the side-effect-free
+    :meth:`~repro.serving.prefixcache.PrefixCache.match_tokens` (O(prefix blocks) per
+    replica) and picks the deepest match; ties — including the no-cache / no-match case —
+    fall back to least outstanding tokens, so replicas without caches degrade to the
+    least-tokens router.  Decode migrations carry their full KV with them, so affinity
+    is irrelevant there and the decode pool balances on token work.
+    """
+
+    name = "cache-affinity"
+
+    def select(self, replicas, request):
+        def rank(replica: "Replica"):
+            cache = getattr(replica.scheduler, "prefix_cache", None)
+            cached = (
+                cache.match_tokens(request, request.prompt_tokens - 1)
+                if cache is not None else 0
+            )
+            return (-cached, replica.scheduler.outstanding_tokens, replica.replica_id)
+
+        return min(_require_candidates(replicas), key=rank)
+
+    def select_decode(self, replicas, request):
+        return _least_tokens(replicas)
+
+
 class DisaggregatedRouter(RouterPolicy):
     """Disaggregation-aware routing: balance prefill on token work, decode on KV headroom.
 
@@ -151,13 +182,13 @@ class DisaggregatedRouter(RouterPolicy):
 ROUTER_POLICIES: Dict[str, Type[RouterPolicy]] = {
     policy.name: policy
     for policy in (RoundRobinRouter, LeastOutstandingTokensRouter, LeastKvLoadRouter,
-                   DisaggregatedRouter)
+                   CacheAffinityRouter, DisaggregatedRouter)
 }
 
 
 def get_router_policy(policy: Union[str, RouterPolicy]) -> RouterPolicy:
     """Resolve a router policy by name ('round-robin', 'least-tokens', 'least-kv',
-    'disaggregated'); instances pass through unchanged."""
+    'cache-affinity', 'disaggregated'); instances pass through unchanged."""
     if isinstance(policy, RouterPolicy):
         return policy
     key = str(policy).lower()

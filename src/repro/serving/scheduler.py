@@ -48,6 +48,7 @@ import numpy as np
 from .engine import PrefillChunk, ServingEngine, peak_resident_tokens
 from .kvcache import KvCacheOutOfMemory, PagedKvCache, SequenceState
 from .metrics import SloReport, SloSpec, compute_slo_report
+from .prefixcache import PrefixCache
 from .policies import (
     PreemptionPolicy,
     SchedulingPolicy,
@@ -75,6 +76,15 @@ class Request:
     arrival_time_s: float = 0.0
     #: Scheduling priority (higher = more important); only the 'priority' policy reads it.
     priority: int = 0
+    #: Prefix-sharing namespace (trace-owned, stable across :func:`merge_traces`): only
+    #: requests with equal ``prefix_group`` can share cached prefix blocks.  ``None``
+    #: is itself a namespace, so single-tenant traces need not pick a group id.
+    prefix_group: Optional[int] = None
+    #: Ordered ``(segment_id, num_tokens)`` pairs describing the shareable *head* of the
+    #: prompt (system prompt, RAG template, tool transcript...).  Two requests share
+    #: exactly as many leading tokens as their segment streams agree on; the remainder of
+    #: the prompt (beyond ``sum(num_tokens)``) is private.  Trace-owned: never reset.
+    prefix_segments: Tuple[Tuple[int, int], ...] = ()
     # Filled by the scheduler:
     first_scheduled_time_s: Optional[float] = None
     first_token_time_s: Optional[float] = None
@@ -84,6 +94,9 @@ class Request:
     # Prefill progress of the current pass (recompute restarts it over prompt + emitted):
     prefilled: int = 0
     prefill_target: int = 0
+    #: Tokens of the current pass served from the prefix cache instead of prefill
+    #: (fork-on-admit).  Counted inside ``prefilled`` — it is prefill work *skipped*.
+    cached_prefix_tokens: int = 0
     #: Non-zero on a sequence migrated between replicas (disaggregated prefill/decode): the
     #: KV tokens that arrive by interconnect DMA instead of local prefill.  The transfer is
     #: charged by the cluster; admission here only needs the blocks.
@@ -97,6 +110,11 @@ class Request:
     def decoding(self) -> bool:
         """True once the current prefill pass is complete (the request emits decode tokens)."""
         return bool(self.prefill_target) and self.prefilled >= self.prefill_target
+
+    @property
+    def shareable_prefix_tokens(self) -> int:
+        """Length of the shareable prompt head described by :attr:`prefix_segments`."""
+        return sum(tokens for _, tokens in self.prefix_segments)
 
     def remaining_tokens(self) -> int:
         """Tokens of work left (prefill positions still to cache + tokens still to emit)."""
@@ -117,6 +135,7 @@ class Request:
         self.preemptions = 0
         self.prefilled = 0
         self.prefill_target = 0
+        self.cached_prefix_tokens = 0
         self.imported_kv_tokens = 0
 
 
@@ -145,6 +164,13 @@ class SchedulerStats:
     swap_ins: int = 0
     kv_transfer_s: float = 0.0
     peak_host_kv_utilization: float = 0.0
+    # Prefix-cache accounting (all zero when prefix caching is disabled):
+    prefix_cache_hits: int = 0
+    prefix_cache_misses: int = 0
+    prefix_saved_tokens: int = 0
+    prefix_blocks_inserted: int = 0
+    prefix_blocks_evicted: int = 0
+    prefix_cached_blocks: int = 0
     requests: List[Request] = field(default_factory=list)
 
     @property
@@ -152,6 +178,12 @@ class SchedulerStats:
         if self.simulated_time_s <= 0:
             return 0.0
         return self.generated_tokens / self.simulated_time_s
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of admission lookups that found a cached prefix."""
+        lookups = self.prefix_cache_hits + self.prefix_cache_misses
+        return self.prefix_cache_hits / lookups if lookups else 0.0
 
     def slo_report(self, slo: Optional[SloSpec] = None) -> SloReport:
         """SLO attainment / goodput of the completed requests of this run."""
@@ -190,6 +222,7 @@ class ContinuousBatchingScheduler:
         host_kv_budget_bytes: Optional[int] = None,
         overlap_swap_transfers: bool = False,
         fast_forward: bool = True,
+        prefix_caching: bool = False,
     ):
         self.engine = engine
         if not engine.supported:
@@ -224,6 +257,10 @@ class ContinuousBatchingScheduler:
         self.scheduling_policy = get_scheduling_policy(scheduling_policy)
         self.preemption_policy = get_preemption_policy(preemption_policy)
         self.overlap_swap_transfers = overlap_swap_transfers
+        #: Radix-tree prefix caching (fork-on-admit): admission looks up the longest
+        #: cached prefix of each request's ``prefix_segments`` and seeds the sequence
+        #: with the matching blocks, prefilling only the uncached suffix.
+        self.prefix_caching = prefix_caching
         #: Analytic decode fast-forward: :meth:`run` (and the cluster driver) may advance a
         #: steady decode-only phase in one closed-form jump instead of looping
         #: :meth:`step`.  Bit-identical either way — the flag exists for equivalence tests
@@ -237,6 +274,19 @@ class ContinuousBatchingScheduler:
             raise ValueError(
                 f"request {request.request_id}: prompt_tokens and output_tokens must be >= 1"
             )
+        if request.prefix_segments:
+            shareable = 0
+            for _, seg_tokens in request.prefix_segments:
+                if seg_tokens < 1:
+                    raise ValueError(
+                        f"request {request.request_id}: prefix segments need >= 1 token"
+                    )
+                shareable += seg_tokens
+            if shareable > request.prompt_tokens:
+                raise ValueError(
+                    f"request {request.request_id}: prefix segments cover {shareable} "
+                    f"tokens but the prompt has only {request.prompt_tokens}"
+                )
         peak_tokens = peak_resident_tokens(request.prompt_tokens, request.output_tokens)
         needed = self.kv_cache.config.blocks_for_tokens(peak_tokens)
         if needed > self.kv_cache.config.total_blocks:
@@ -259,10 +309,24 @@ class ContinuousBatchingScheduler:
         return victim.prefilled
 
     def _pick_victim(self, exclude: Optional[Request] = None) -> Optional[Request]:
-        """Lowest-priority resident request per the scheduling policy (FCFS: latest arrival)."""
+        """Lowest-priority resident request per the scheduling policy (FCFS: latest arrival).
+
+        Under a swap-leaning preemption policy, residents whose blocks are shared (a fork,
+        or a prefix-cache seed) are skipped while an unshared candidate exists: a shared
+        victim can never swap (``swap_out`` refuses to split a fork) and would silently
+        degrade to recompute, wasting the policy's host pool.  With every candidate
+        shared, selection falls back to the policy's normal choice and the degrade path
+        recompute-preempts it — the ValueError can never escape.
+        """
         candidates = [r for r in self._prefilling + self._running if r is not exclude]
         if not candidates:
             return None
+        if self.preemption_policy.prefers_swap:
+            unshared = [
+                r for r in candidates if not self.kv_cache.shares_blocks(r.request_id)
+            ]
+            if unshared:
+                candidates = unshared
         return self.scheduling_policy.select_victim(candidates)
 
     # ------------------------------------------------------------------ steppable session
@@ -270,9 +334,18 @@ class ContinuousBatchingScheduler:
         """Start a fresh steppable session at virtual time ``clock``.
 
         Resets every piece of per-run scheduler state (queues, counters, peaks).  The KV
-        pool itself is kept — a completed session always drains it, and tests are free to
-        replace :attr:`kv_cache` before the first :meth:`submit`.
+        pool itself is kept — a completed session drains it of live sequences, and tests
+        are free to replace :attr:`kv_cache` before the first :meth:`submit`.  The prefix
+        cache is rebuilt empty: its held blocks are released back to the pool it was
+        bound to, so re-running the same trace can never warm-start from a previous
+        session's cache (A/B runs must not leak state).
         """
+        previous_cache = getattr(self, "prefix_cache", None)
+        if previous_cache is not None:
+            previous_cache.reset()
+        self.prefix_cache: Optional[PrefixCache] = (
+            PrefixCache(self.kv_cache) if self.prefix_caching else None
+        )
         self._waiting: List[Tuple[Tuple, int, Request]] = []
         self._imported: List[Tuple[Tuple, int, Request]] = []
         self._push_counter = 0
@@ -392,6 +465,7 @@ class ContinuousBatchingScheduler:
         makespan = self._clock + self._pending_transfer_s
         snapshot = [copy.copy(r) for r in self._completed]
         summary = compute_slo_report(snapshot, makespan_s=makespan)
+        cache = self.prefix_cache
         return SchedulerStats(
             simulated_time_s=makespan,
             completed_requests=len(snapshot),
@@ -412,10 +486,34 @@ class ContinuousBatchingScheduler:
             swap_ins=self._swap_in_count,
             kv_transfer_s=self._transfer_s_total,
             peak_host_kv_utilization=self._peak_host_util,
+            prefix_cache_hits=cache.hits if cache is not None else 0,
+            prefix_cache_misses=cache.misses if cache is not None else 0,
+            prefix_saved_tokens=cache.saved_tokens if cache is not None else 0,
+            prefix_blocks_inserted=cache.inserted_blocks if cache is not None else 0,
+            prefix_blocks_evicted=cache.evicted_blocks if cache is not None else 0,
+            prefix_cached_blocks=cache.num_blocks if cache is not None else 0,
             requests=snapshot,
         )
 
     # ------------------------------------------------------------------ step internals
+    def _admission_plan(self, request: Request, budget_left: int) -> Tuple[List[int], int]:
+        """The ``(cached_blocks, first_chunk_tokens)`` admission would use right now.
+
+        Shared by the admission loop and the fast-forward parked-queue proof so the two
+        can never disagree on what admitting the top waiting request entails.  The cached
+        match is capped one token short of the prefill target: the admitted request must
+        always schedule at least one real chunk (the pass that emits its first token).
+        """
+        target = (
+            request.prefill_target if request.prefill_target > 0 else request.prompt_tokens
+        )
+        cached_blocks: List[int] = []
+        if self.prefix_cache is not None:
+            cached_blocks = self.prefix_cache.match_blocks(request, target - 1)
+        cached = len(cached_blocks) * self.kv_cache.config.block_tokens
+        take = min(target - cached, self.prefill_chunk_tokens, budget_left)
+        return cached_blocks, take
+
     def _push_waiting(self, request: Request) -> None:
         heapq.heappush(
             self._waiting,
@@ -442,7 +540,14 @@ class ContinuousBatchingScheduler:
         else:
             self._prefilling.append(request)
 
-    def _preempt_one(self, exclude: Optional[Request] = None) -> bool:
+    def _preempt_one(self, exclude: Optional[Request] = None, need_blocks: int = 1) -> bool:
+        # Cached-but-idle prefix blocks are reclaimed before any live sequence is
+        # preempted: they cost queue-side re-prefill on a future miss, not live work.
+        if (
+            self.prefix_cache is not None
+            and self.prefix_cache.evict(need_blocks) >= need_blocks
+        ):
+            return True
         victim = self._pick_victim(exclude)
         if victim is None:
             return False
@@ -484,6 +589,7 @@ class ContinuousBatchingScheduler:
             before = victim.remaining_tokens()
             victim.prefilled = 0
             victim.prefill_target = victim.prompt_tokens + max(0, victim.generated - 1)
+            victim.cached_prefix_tokens = 0  # re-admission re-matches the (live) trie
             self._outstanding_tokens += victim.remaining_tokens() - before
             self._push_waiting(victim)
         return True
@@ -607,6 +713,10 @@ class ContinuousBatchingScheduler:
 
         # ---- admit new requests (skip while this iteration already preempted, so a
         # just-evicted victim cannot immediately reclaim the freed blocks and thrash).
+        # With prefix caching, admission first looks up the longest cached prefix and
+        # fork-on-admits the matching blocks, prefilling only the uncached suffix; when
+        # the pool cannot fit the suffix chunk, cached-but-idle blocks are evicted
+        # before admission gives up.
         if self._preemption_count == preemptions_before_iteration:
             while (
                 self._waiting
@@ -614,20 +724,40 @@ class ContinuousBatchingScheduler:
                 and self.num_resident < self.max_batch_size
             ):
                 request = self._waiting[0][2]
+                cached_blocks, take = self._admission_plan(request, budget)
+                if not self.kv_cache.can_admit(take):
+                    needed = (
+                        self.kv_cache.config.blocks_for_tokens(take)
+                        - self.kv_cache.num_free_blocks
+                    )
+                    if (
+                        self.prefix_cache is None
+                        or self.prefix_cache.evict(needed) < needed
+                    ):
+                        break
+                    continue  # re-plan: eviction may have shrunk this very match
+                heapq.heappop(self._waiting)
                 if request.prefill_target <= 0:
                     request.prefill_target = request.prompt_tokens
-                take = min(request.prefill_target, self.prefill_chunk_tokens, budget)
-                if not self.kv_cache.can_admit(take):
-                    break
-                heapq.heappop(self._waiting)
                 if request.first_scheduled_time_s is None:
                     request.first_scheduled_time_s = self._clock
-                self.kv_cache.add_sequence(request.request_id, 0)
+                if cached_blocks:
+                    cached = len(cached_blocks) * self.kv_cache.config.block_tokens
+                    self.kv_cache.fork_from_blocks(request.request_id, cached_blocks)
+                    self.prefix_cache.commit_hit(request, len(cached_blocks))
+                    before = request.remaining_tokens()
+                    request.cached_prefix_tokens = cached
+                    request.prefilled = cached
+                    self._outstanding_tokens += request.remaining_tokens() - before
+                else:
+                    if self.prefix_cache is not None:
+                        self.prefix_cache.record_miss()
+                    self.kv_cache.add_sequence(request.request_id, 0)
                 self.kv_cache.extend_sequence(request.request_id, take)
                 self._prefilling.append(request)
-                is_last = take >= request.prefill_target
+                is_last = request.prefilled + take >= request.prefill_target
                 produces = is_last and request.first_token_time_s is None
-                chunks.append((request, PrefillChunk(take, 0, produces)))
+                chunks.append((request, PrefillChunk(take, request.prefilled, produces)))
                 budget -= take
 
         # ---- sample KV pressure at its within-iteration peak: after slot reservation,
@@ -642,10 +772,20 @@ class ContinuousBatchingScheduler:
                 if self._preempt_one():
                     return
             if self._swapped:
-                # Nothing is resident, so the device pool is fully free and any swapped
-                # sequence fits (each passed the admission guard): resume the one the
-                # scheduling policy ranks first, preserving its service order.
-                self._do_swap_in(min(self._swapped, key=self.scheduling_policy.key))
+                # Nothing is resident, so every device block is free or cached-but-idle
+                # and any swapped sequence fits once the cache yields (each passed the
+                # admission guard, and with no live sequences every cached block is
+                # evictable): resume the one the scheduling policy ranks first,
+                # preserving its service order.
+                candidate = min(self._swapped, key=self.scheduling_policy.key)
+                if self.prefix_cache is not None:
+                    shortfall = (
+                        self.kv_cache.swapped_sequence(candidate.request_id).num_blocks
+                        - self.kv_cache.num_free_blocks
+                    )
+                    if shortfall > 0:
+                        self.prefix_cache.evict(shortfall)
+                self._do_swap_in(candidate)
                 return
             if self._imported:
                 # Imported sequences blocked on device blocks with nothing resident can
@@ -681,6 +821,14 @@ class ContinuousBatchingScheduler:
             if request.prefilled < request.prefill_target:
                 continue
             self._prefilling.remove(request)
+            if self.prefix_cache is not None and request.prefix_segments:
+                # Publish the completed prefill's shareable prefix (full blocks only).
+                # This runs before any completion-time free, so even a request that
+                # finishes on its prefill pass (a disaggregated prefill replica's whole
+                # population) leaves its prefix behind for the next arrival.
+                self.prefix_cache.insert(
+                    request, self.kv_cache.sequence(request.request_id).blocks
+                )
             if chunk.produces_token:
                 request.first_token_time_s = self._clock
                 request.generated += 1
@@ -723,17 +871,33 @@ class ContinuousBatchingScheduler:
     # segment" — the monotonicity every check below leans on.
     def _admission_parked(self, budget_left: int) -> bool:
         """True when the admission loop could not admit the top waiting request now
-        (and, by monotonicity, not at any later iteration of a pinned segment)."""
+        (and, by monotonicity, not at any later iteration of a pinned segment).
+
+        With prefix caching the check mirrors admission exactly via
+        :meth:`_admission_plan` — same cached match, same suffix chunk — and adds the
+        eviction escape hatch: a blocked admission that stepwise ``step()`` would
+        unblock by evicting idle cached blocks is *not* parked.  Monotonicity holds
+        because the trie is structurally frozen inside a pinned segment (insert happens
+        only at prefill completions, evict only in ``step()``'s pressure paths, hits
+        only at admissions — all segment-enders) and cached blocks' reference counts
+        can only change at completions, which also end segments.
+        """
         if not self._waiting:
             return True
         if budget_left <= 0 or self.num_resident >= self.max_batch_size:
             return True
         request = self._waiting[0][2]
-        target = (
-            request.prefill_target if request.prefill_target > 0 else request.prompt_tokens
-        )
-        take = min(target, self.prefill_chunk_tokens, budget_left)
-        return not self.kv_cache.can_admit(take)
+        _, take = self._admission_plan(request, budget_left)
+        if self.kv_cache.can_admit(take):
+            return False
+        if self.prefix_cache is not None:
+            needed = (
+                self.kv_cache.config.blocks_for_tokens(take)
+                - self.kv_cache.num_free_blocks
+            )
+            if self.prefix_cache.can_free(needed):
+                return False
+        return True
 
     def _imports_parked(self) -> bool:
         """True when the top imported sequence cannot land its KV blocks now (nor later

@@ -46,7 +46,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from .reporting.schema import validate_payload
 from .serving.cluster import ServingCluster
 from .serving.engine import ServingEngine
-from .serving.metrics import SloSpec, compute_slo_report
+from .serving.metrics import SloSpec
 from .serving.scheduler import ContinuousBatchingScheduler
 from .serving.systems import ClusterSpec
 from .workloads.traces import (
@@ -157,6 +157,8 @@ class SweepGrid:
     kv_budget_bytes: Optional[int] = None
     host_kv_budget_bytes: Optional[int] = None
     num_priority_levels: int = 1
+    prefix_caching: bool = False
+    shared_prefix_tokens: int = 0
     slo_ttft_s: float = 2.0
     slo_tpot_s: float = 0.1
 
@@ -178,6 +180,8 @@ class SweepGrid:
             "kv_budget_bytes": self.kv_budget_bytes,
             "host_kv_budget_bytes": self.host_kv_budget_bytes,
             "num_priority_levels": self.num_priority_levels,
+            "prefix_caching": self.prefix_caching,
+            "shared_prefix_tokens": self.shared_prefix_tokens,
             "slo": {"ttft_s": self.slo_ttft_s, "tpot_s": self.slo_tpot_s},
         }
 
@@ -217,6 +221,8 @@ class SweepGrid:
                     "kv_budget_bytes": self.kv_budget_bytes,
                     "host_kv_budget_bytes": self.host_kv_budget_bytes,
                     "num_priority_levels": self.num_priority_levels,
+                    "prefix_caching": self.prefix_caching,
+                    "shared_prefix_tokens": self.shared_prefix_tokens,
                     "slo_ttft_s": self.slo_ttft_s,
                     "slo_tpot_s": self.slo_tpot_s,
                 }
@@ -256,6 +262,7 @@ def _run_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
         cell["output_lengths"] or SHAREGPT_OUTPUTS,
         seed=cell["seed"],
         num_priority_levels=cell["num_priority_levels"],
+        shared_prefix_tokens=cell["shared_prefix_tokens"],
     )
     slo = SloSpec(ttft_s=cell["slo_ttft_s"], tpot_s=cell["slo_tpot_s"])
     shape = cell["cluster"]
@@ -264,6 +271,7 @@ def _run_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
         preemption_policy=cell["preemption_policy"],
         kv_budget_bytes=cell["kv_budget_bytes"],
         host_kv_budget_bytes=cell["host_kv_budget_bytes"],
+        prefix_caching=cell["prefix_caching"],
     )
     if shape.get("mode", "single") == "single":
         scheduler = ContinuousBatchingScheduler(engine, **scheduler_kwargs)

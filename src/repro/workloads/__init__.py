@@ -12,8 +12,13 @@ from .traces import (
     SHAREGPT_PROMPTS,
     ArrivalProcess,
     LengthDistribution,
+    agent_swarm_trace,
     generate_trace,
+    merge_traces,
+    multi_turn_chat_trace,
+    rag_trace,
     sharegpt_trace,
+    tenant_mix_trace,
 )
 
 __all__ = [
@@ -28,4 +33,9 @@ __all__ = [
     "SHAREGPT_OUTPUTS",
     "generate_trace",
     "sharegpt_trace",
+    "merge_traces",
+    "multi_turn_chat_trace",
+    "rag_trace",
+    "agent_swarm_trace",
+    "tenant_mix_trace",
 ]

@@ -1,6 +1,5 @@
 """Tests for the accuracy study and the reporting helpers."""
 
-import numpy as np
 import pytest
 
 from repro.accuracy import STANDARD_DISTRIBUTIONS, WeightDistribution, run_accuracy_study

@@ -96,6 +96,25 @@ class TestBenchSchema:
         assert section["simulated"]["preemptions"] > 0
         assert section["simulated"]["prefill_chunks"] > 0
 
+    def test_prefix_cache_section_holds_the_acceptance_criterion(self, payload):
+        """PR-6's tentpole, pinned against the committed trajectory: on the shared-prefix
+        agent-swarm workload, radix-tree fork-on-admit must cut p99 TTFT by at least 1.5x
+        vs. the cache-off twin, with a real hit rate and real prefill savings — and
+        without changing a single generated token."""
+        section = payload["prefix_cache"]
+        assert section["p99_ttft_improves_ge_1_5x"] is True
+        assert section["p99_ttft_speedup"] >= 1.5
+        on, off = section["configs"]["cache_on"], section["configs"]["cache_off"]
+        assert on["prefix_hit_rate"] > 0.5  # swarm agents genuinely share prefixes
+        assert on["prefix_saved_tokens"] > 0
+        assert on["prefix_blocks_inserted"] > 0
+        assert on["p99_ttft_s"] < off["p99_ttft_s"]
+        # The cache changes when tokens appear, never what is served.
+        assert on["completed_requests"] == off["completed_requests"]
+        assert on["generated_tokens"] == off["generated_tokens"]
+        assert off["prefix_hit_rate"] == 0.0
+        assert off["prefix_saved_tokens"] == 0
+
     def test_sweep_section_is_deterministic_and_full_width(self, payload):
         """The sweep acceptance criteria: >= 16 grid cells, executed with 4 workers, and
         the parallel run byte-identical to the serial one.  The wall-clock speedup is

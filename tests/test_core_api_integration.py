@@ -4,15 +4,12 @@ import numpy as np
 import pytest
 
 from repro import (
-    GemmShape,
     LiquidGemmKernel,
     compare_kernels,
-    get_kernel,
     quantize_weights,
     w4a8_gemm,
 )
 from repro.quant import (
-    grid_search_alpha,
     lqq_quantize,
     quantize_activation_per_token,
     smooth_and_quantize,

@@ -17,7 +17,6 @@ from hypothesis.extra import numpy as hnp
 
 from repro.costmodel import alpha_budget
 from repro.dequant import (
-    LQQ_ELEMENTS_PER_REGISTER,
     LQQ_INSTRUCTIONS_PER_REGISTER,
     lqq_alpha,
     lqq_dequant_register,

@@ -30,7 +30,11 @@ from repro.workloads.traces import (
     SHAREGPT_PROMPTS,
     ArrivalProcess,
     LengthDistribution,
+    agent_swarm_trace,
     generate_trace,
+    multi_turn_chat_trace,
+    rag_trace,
+    tenant_mix_trace,
 )
 
 MB = 2**20
@@ -275,6 +279,131 @@ class TestMixedPhaseEquivalence:
         assert scheduler._fast_forward_mixed(None) == 0  # completing chunk: step only
         scheduler.step()
         assert scheduler._prefilling == [] and scheduler._running
+
+
+@st.composite
+def shared_prefix_traces(draw):
+    """Random traces whose requests carry shareable prefix segments in a few groups."""
+    n = draw(st.integers(min_value=1, max_value=14))
+    requests = []
+    for i in range(n):
+        group = draw(st.integers(min_value=0, max_value=2))
+        shared = draw(st.sampled_from([0, 48, 128, 512]))
+        requests.append(
+            Request(
+                request_id=i,
+                prompt_tokens=shared + draw(st.integers(min_value=1, max_value=400)),
+                output_tokens=draw(st.integers(min_value=1, max_value=40)),
+                arrival_time_s=draw(
+                    st.floats(
+                        min_value=0.0, max_value=2.0,
+                        allow_nan=False, allow_infinity=False,
+                    )
+                ),
+                prefix_group=group,
+                prefix_segments=((group, shared),) if shared else (),
+            )
+        )
+    return requests
+
+
+class TestPrefixCacheEquivalence:
+    """Fast-forward must stay bit-identical with the prefix cache enabled.
+
+    Every cache mutation (insert / hit / evict) happens inside ``step()``, so the
+    parked-queue proofs extend rather than bail: these tests pin that the analytic
+    jumps see exactly the stepwise trie at every decision point — including under
+    tight KV budgets where admission-time eviction and preemption interleave."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        trace=shared_prefix_traces(),
+        kv_budget=st.sampled_from([256 * MB, GB, None]),
+        host_budget=st.sampled_from([0, GB]),
+        preemption=st.sampled_from(["recompute", "swap", "hybrid"]),
+        scheduling=st.sampled_from(["fcfs", "priority", "sjf"]),
+    )
+    def test_random_shared_prefix_traces_bit_identical(
+        self, trace, kv_budget, host_budget, preemption, scheduling
+    ):
+        kwargs = dict(
+            prefix_caching=True,
+            kv_budget_bytes=kv_budget,
+            host_kv_budget_bytes=host_budget,
+            preemption_policy=preemption,
+            scheduling_policy=scheduling,
+        )
+        sched_a, stepwise = _run(trace, fast_forward=False, **kwargs)
+        sched_b, fast = _run(trace, fast_forward=True, **kwargs)
+        assert sched_a.clock == sched_b.clock
+        assert_stats_identical(stepwise, fast)
+
+    @pytest.mark.parametrize("trace", [
+        pytest.param(
+            multi_turn_chat_trace(6, 4, 8.0, seed=5), id="chat",
+        ),
+        pytest.param(
+            agent_swarm_trace(3, 5, 4, 6.0, seed=9), id="swarm",
+        ),
+        pytest.param(
+            rag_trace(40, 20.0, seed=2), id="rag",
+        ),
+        pytest.param(
+            tenant_mix_trace(12, 10.0, seed=4), id="tenants",
+        ),
+    ])
+    def test_agentic_traces_bit_identical(self, trace):
+        kwargs = dict(prefix_caching=True)
+        sched_a, stepwise = _run(trace, fast_forward=False, **kwargs)
+        sched_b, fast = _run(trace, fast_forward=True, **kwargs)
+        assert stepwise.prefix_cache_hits > 0  # the workload actually shares prefixes
+        assert sched_a.clock == sched_b.clock
+        assert_stats_identical(stepwise, fast)
+
+    @pytest.mark.parametrize("preemption", ["recompute", "swap", "hybrid"])
+    def test_tight_kv_eviction_churn_bit_identical(self, preemption):
+        """Small device pool: admission-time eviction, preemption and cache re-publish
+        all interleave; the jumps must stop at exactly the same iterations."""
+        trace = agent_swarm_trace(3, 4, 4, 12.0, seed=13)
+        kwargs = dict(
+            prefix_caching=True,
+            kv_budget_bytes=512 * MB,
+            host_kv_budget_bytes=GB,
+            preemption_policy=preemption,
+        )
+        _, stepwise = _run(trace, fast_forward=False, **kwargs)
+        _, fast = _run(trace, fast_forward=True, **kwargs)
+        assert stepwise.prefix_blocks_evicted > 0  # eviction actually exercised
+        assert_stats_identical(stepwise, fast)
+
+    def test_cache_off_is_seed_identical(self):
+        """The default path must be byte-identical to a scheduler with no cache at all."""
+        trace = generate_trace(
+            50, ArrivalProcess(rate_rps=20.0), SHAREGPT_PROMPTS, SHAREGPT_OUTPUTS,
+            seed=21, shared_prefix_tokens=256,
+        )
+        _, without = _run(trace, fast_forward=True)
+        _, explicit_off = _run(trace, fast_forward=True, prefix_caching=False)
+        assert_stats_identical(without, explicit_off)
+        assert without.prefix_cache_hits == 0
+        assert without.prefix_saved_tokens == 0
+
+    def test_cluster_cache_affinity_bit_identical(self):
+        kwargs = dict(
+            mode="colocated", num_replicas=2, router="cache-affinity",
+            num_requests=60, arrival_rate_rps=30.0, seed=17,
+            prefix_caching=True, shared_prefix_tokens=256,
+        )
+        fast = simulate_cluster("liquidserve", "llama2-7b", **kwargs)
+        slow = simulate_cluster(
+            "liquidserve", "llama2-7b", fast_forward=False, **kwargs
+        )
+        assert fast.result.simulated_time_s == slow.result.simulated_time_s
+        for a, b in zip(fast.replica_stats, slow.replica_stats):
+            assert_stats_identical(b, a)
+        assert sum(s.prefix_cache_hits for s in fast.replica_stats) > 0
+        assert fast.slo == slow.slo
+        assert fast.per_request == slow.per_request
 
 
 class TestMixedStepTimesVectorization:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu import Device, H800, ThreadBlockConfig, WarpGroupRole, get_gpu
+from repro.gpu import Device, H800, ThreadBlockConfig, get_gpu
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu import A100, H100, H800, GpuSpec, Precision, get_gpu, list_gpus
+from repro.gpu import A100, H100, H800, Precision, get_gpu, list_gpus
 
 
 class TestPrecision:

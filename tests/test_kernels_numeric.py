@@ -4,11 +4,8 @@ import numpy as np
 import pytest
 
 from repro.kernels import (
-    Fp16Kernel,
-    Fp8Kernel,
     LiquidGemmKernel,
     QServeW4A8Kernel,
-    W4A16Kernel,
     W8A8Kernel,
     available_kernels,
     default_comparison_set,

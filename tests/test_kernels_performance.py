@@ -3,7 +3,7 @@
 import pytest
 
 from repro.costmodel import GemmShape
-from repro.kernels import ablation_kernels, default_comparison_set, get_kernel
+from repro.kernels import ablation_kernels, get_kernel
 
 #: LLaMA2-7B FFN gate/up GEMM — the shape the paper's motivation study profiles.
 FFN_SHAPE_7B = dict(n=11008, k=4096)

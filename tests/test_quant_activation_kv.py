@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.quant import (
-    KV_FORMATS,
     dequantize_activation,
     dequantize_kv,
     fp8_e4m3_round,

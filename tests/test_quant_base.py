@@ -15,7 +15,6 @@ from repro.quant import (
     group_unreshape,
     int_range,
     quantization_error,
-    quantize,
     quantize_tensor,
 )
 

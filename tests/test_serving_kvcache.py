@@ -6,7 +6,14 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
 
-from repro.serving import KvCacheConfig, KvCacheOutOfMemory, PagedKvCache, get_model
+from repro.serving import (
+    KvCacheConfig,
+    KvCacheOutOfMemory,
+    PagedKvCache,
+    PrefixCache,
+    Request,
+    get_model,
+)
 
 
 def make_config(budget_mb=64, kv_format="int8", block_tokens=16, model="llama2-7b",
@@ -575,3 +582,112 @@ class KvForkSwapMachine(RuleBasedStateMachine):
 
 
 TestKvForkSwapStateMachine = KvForkSwapMachine.TestCase
+
+
+class KvPrefixCacheMachine(KvForkSwapMachine):
+    """Adds a prefix cache to the fork/swap machine: insert / hit / evict racing live growth.
+
+    The cache holds one pool reference per published block, so the parent's refcount and
+    conservation invariants are re-derived here to count cache nodes as holders.  The new
+    rules pin the contracts the scheduler leans on: :meth:`PrefixCache.evict` returns
+    exactly the blocks it put back in the free pool, :meth:`PrefixCache.can_free` agrees
+    with what eviction then achieves (the fast-forward parked proofs depend on that), and
+    a cached block can never be freed out from under the trie by a live sequence's
+    truncate/free/swap.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.prefix = PrefixCache(self.cache)
+        self.next_request = 0
+
+    def _request(self, shared, group):
+        req = Request(
+            self.next_request,
+            prompt_tokens=shared + 8,
+            output_tokens=4,
+            prefix_group=group,
+            prefix_segments=((0, shared),),
+        )
+        self.next_request += 1
+        return req
+
+    def _any_shared(self, seq_id):
+        if super()._any_shared(seq_id):
+            return True
+        cached = {node.block for node in self.prefix._nodes.values()}
+        return any(b in cached for b in self.cache.sequence(seq_id).blocks)
+
+    @precondition(lambda self: self.resident)
+    @rule(data=st.data(), group=st.integers(min_value=0, max_value=2))
+    def publish(self, data, group):
+        seq_id = data.draw(st.sampled_from(sorted(self.resident)))
+        state = self.cache.sequence(seq_id)
+        req = self._request(self.resident[seq_id], group)
+        before = self.prefix.num_blocks
+        added = self.prefix.insert(req, state.blocks)
+        assert self.prefix.num_blocks == before + added
+
+    @rule(group=st.integers(min_value=0, max_value=2),
+          span=st.integers(min_value=0, max_value=128))
+    def hit(self, group, span):
+        req = self._request(span, group)
+        blocks = self.prefix.match_blocks(req, span)
+        if not blocks:
+            self.prefix.record_miss()
+            return
+        child = self.next_id
+        self.next_id += 1
+        used_before = self.cache.num_used_blocks
+        self.cache.fork_from_blocks(child, blocks)
+        assert self.cache.num_used_blocks == used_before  # cached blocks were resident
+        self.prefix.commit_hit(req, len(blocks))
+        self.resident[child] = len(blocks) * self.config.block_tokens
+
+    @rule(num=st.integers(min_value=1, max_value=8))
+    def evict(self, num):
+        free_before = self.cache.num_free_blocks
+        could = self.prefix.can_free(num)
+        freed = self.prefix.evict(num)
+        assert self.cache.num_free_blocks == free_before + freed
+        # can_free is evict's side-effect-free twin: its promise must be exact.
+        assert (freed >= num) == could
+
+    @invariant()
+    def refcounts_match_resident_references(self):
+        counts = {}
+        for seq_id in self.resident:
+            for block in self.cache.sequence(seq_id).blocks:
+                counts[block] = counts.get(block, 0) + 1
+        for node in self.prefix._nodes.values():
+            counts[node.block] = counts.get(node.block, 0) + 1
+        assert counts == self.cache._ref_counts
+
+    @invariant()
+    def both_pools_conserve_blocks(self):
+        device_used = set()
+        for seq_id in self.resident:
+            device_used.update(self.cache.sequence(seq_id).blocks)
+        device_used.update(node.block for node in self.prefix._nodes.values())
+        assert len(device_used) == self.cache.num_used_blocks
+        assert device_used | set(self.cache._free_blocks) == set(
+            range(self.config.total_blocks)
+        )
+        host_used = []
+        for seq_id in self.swapped:
+            host_used.extend(self.cache.swapped_sequence(seq_id).blocks)
+        assert len(host_used) == len(set(host_used)) == self.cache.num_used_host_blocks
+        assert set(host_used) | set(self.cache._free_host_blocks) == set(
+            range(self.config.total_host_blocks)
+        )
+
+    @invariant()
+    def cache_accounting_consistent(self):
+        for node in self.prefix._nodes.values():
+            assert self.cache.block_ref_count(node.block) >= 1
+        assert self.prefix.num_blocks == (
+            self.prefix.inserted_blocks - self.prefix.evicted_blocks
+        )
+
+
+TestKvPrefixCacheStateMachine = KvPrefixCacheMachine.TestCase

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.costmodel import GemmShape
-from repro.serving import MODELS, get_model, list_models
+from repro.serving import get_model, list_models
 from repro.workloads import PAPER_BATCH_SIZES, batch_sweep, decode_layer_gemms, moe_expert_batch
 
 

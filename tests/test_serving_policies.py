@@ -107,10 +107,11 @@ class TestSjfEndToEnd:
         sjf = ContinuousBatchingScheduler(
             engine, max_batch_size=1, scheduling_policy="sjf"
         ).run(long_jobs + short_jobs)
-        mean_short_ttft = lambda stats: sum(
-            r.first_token_time_s - r.arrival_time_s
-            for r in stats.requests if r.request_id >= 10
-        ) / 3
+        def mean_short_ttft(stats):
+            return sum(
+                r.first_token_time_s - r.arrival_time_s
+                for r in stats.requests if r.request_id >= 10
+            ) / 3
         assert mean_short_ttft(sjf) < mean_short_ttft(fcfs) / 2
         assert sjf.completed_requests == fcfs.completed_requests == 6
 

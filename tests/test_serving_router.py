@@ -34,7 +34,7 @@ REQ = Request(0, prompt_tokens=64, output_tokens=8)
 class TestRegistry:
     def test_known_policies(self):
         assert set(ROUTER_POLICIES) == {
-            "round-robin", "least-tokens", "least-kv", "disaggregated"
+            "round-robin", "least-tokens", "least-kv", "cache-affinity", "disaggregated"
         }
 
     def test_lookup_by_name_returns_fresh_instances(self):

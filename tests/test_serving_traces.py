@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.serving.metrics import (
-    RequestMetrics,
     SloSpec,
     compute_slo_report,
     percentile,
