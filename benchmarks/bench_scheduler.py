@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Performance harness for the request-level scheduler simulation.
 
-Nine sections, written to ``BENCH_scheduler.json`` at the repository root so subsequent PRs
+Ten sections, written to ``BENCH_scheduler.json`` at the repository root so subsequent PRs
 can track both simulator wall-time (is the scheduler hot loop regressing?) and the simulated
 serving metrics (did a change silently alter the model?):
 
@@ -32,11 +32,15 @@ serving metrics (did a change silently alter the model?):
   least-outstanding-tokens router (the O(1) incremental load counter's worst customer).
   These sizes run unchanged in ``--fast`` mode: analytic decode fast-forward is what makes
   them CI-viable at all;
-* ``sweep`` — the process-parallel sweep engine (:mod:`repro.sweep`) over a 16-cell policy
-  grid, run serially and with 4 workers; the consolidated JSON is written next to this
-  payload (``BENCH_sweep[.fast].json``) and ``parallel_matches_serial`` asserts the two
-  executions produce byte-identical cells (wall clock is reported, not gated: the speedup
-  is bounded by the runner's core count);
+* ``sweep`` — the process-parallel sweep engine (:mod:`repro.sweep`) over a 64-cell
+  policy x kernel-backend grid, run serially and with 4 workers; the consolidated JSON is
+  written next to this payload (``BENCH_sweep[.fast].json``) and
+  ``parallel_matches_serial`` asserts the two executions produce byte-identical cells
+  (wall clock is reported, not gated: the speedup is bounded by the runner's core count);
+* ``sweep_grid`` — a 1,120-cell quant-format x kernel x kv_format grid (every registered
+  system crossed with backend overrides) profiled end to end; ``cells_per_s`` is floored
+  by ``benchmarks/check_perf_regression.py`` and the payload records the goodput-per-GPU
+  vs. accuracy frontier summary;
 * ``tensor_parallel_llama2_70b`` — the TP acceptance scenario (OOM on one GPU, finite on 4).
 
 The payload always matches ``SCHEMA`` below (validated before writing; the tier-1 suite
@@ -71,6 +75,7 @@ from repro.serving import (
     SloSpec,
     compute_slo_report,
 )
+from repro.serving.systems import list_systems
 from repro.sweep import SINGLE_REPLICA, SweepGrid, cells_identical, run_sweep, write_sweep_json
 from repro.workloads.traces import LengthDistribution, agent_swarm_trace
 
@@ -136,22 +141,52 @@ MIXED_ARRIVAL_RPS = 16.0
 #: the eviction path is exercised by the tier-1 suite under shrunk pools.
 PREFIX_AB_ARRIVAL_RPS = 12.0
 
-#: Sweep section grid: 16 cells (2 systems x 2 preemption policies x 2 arrival rates x
-#: 2 cluster shapes) on the KV-constrained workload, executed serially and with 4 worker
-#: processes.  Cell results must match byte for byte — that determinism, not the
-#: runner-dependent wall-clock ratio, is the gated acceptance criterion.
+#: Sweep section grid: 64 cells (2 systems x 2 kernel-backend overrides x 2 KV-format
+#: overrides x 2 preemption policies x 2 arrival rates x 2 cluster shapes) on the
+#: KV-constrained workload, executed serially and with 4 worker processes.  Cell results
+#: must match byte for byte — that determinism, not the runner-dependent wall-clock
+#: ratio, is the gated acceptance criterion.
 SWEEP_WORKERS = 4
+
+#: Large-grid profiling section: every registered system crossed with kernel-backend and
+#: KV-format overrides (``None`` = keep the system default), two scheduling and two
+#: preemption policies and two arrival rates — 7 x 5 x 4 x 2 x 2 x 2 = 1,120 cells.
+#: Small per-cell traces keep it CI-viable; ``cells_per_s`` is the throughput the
+#: perf-regression gate floors.
+GRID_KERNELS = (None, "fp16", "liquidgemm", "qserve-w4a8", "w4a16")
+GRID_KV_FORMATS = (None, "fp8", "int8", "int4")
+GRID_SCHEDULING = ("fcfs", "sjf")
+GRID_PREEMPTIONS = ("recompute", "hybrid")
+GRID_RATES = (15.0, 25.0)
 
 
 def _sweep_grid(num_requests: int) -> SweepGrid:
     return SweepGrid(
         systems=("liquidserve", "trt-fp16"),
+        kernels=(None, "liquidgemm"),
+        kv_formats=(None, "int4"),
         preemption_policies=("recompute", "hybrid"),
         arrival_rates_rps=(15.0, 25.0),
         cluster_shapes=(
             SINGLE_REPLICA,
             {"mode": "colocated", "num_replicas": 2, "router": "least-tokens"},
         ),
+        num_requests=num_requests,
+        kv_budget_bytes=AB_KV_BUDGET_BYTES,
+        host_kv_budget_bytes=AB_HOST_KV_BUDGET_BYTES,
+        slo_ttft_s=AB_SLO.ttft_s,
+        slo_tpot_s=AB_SLO.tpot_s,
+    )
+
+
+def _large_grid(num_requests: int) -> SweepGrid:
+    return SweepGrid(
+        systems=tuple(list_systems()),
+        kernels=GRID_KERNELS,
+        kv_formats=GRID_KV_FORMATS,
+        scheduling_policies=GRID_SCHEDULING,
+        preemption_policies=GRID_PREEMPTIONS,
+        arrival_rates_rps=GRID_RATES,
         num_requests=num_requests,
         kv_budget_bytes=AB_KV_BUDGET_BYTES,
         host_kv_budget_bytes=AB_HOST_KV_BUDGET_BYTES,
@@ -241,6 +276,16 @@ SCHEMA = {
         "cells_per_s": float,
         "parallel_matches_serial": bool,
         "consolidated_json": str,
+    },
+    "sweep_grid": {
+        "workload": dict,
+        "num_cells": int,
+        "workers": int,
+        "wall_time_s": float,
+        "cells_per_s": float,
+        "frontier_points": int,
+        "dominated_cells": int,
+        "best_config": dict,  # the frontier's top goodput-per-GPU point
     },
     "tensor_parallel_llama2_70b": {
         "single_gpu_oom": bool,
@@ -398,7 +443,7 @@ def bench_mixed_phase(num_requests: int) -> dict:
 
 
 def bench_sweep(num_requests: int, fast_mode: bool) -> dict:
-    """The process-parallel sweep section: 16 grid cells, serial vs. 4 workers.
+    """The process-parallel sweep section: 64 grid cells, serial vs. 4 workers.
 
     Writes the parallel run's consolidated JSON next to the bench payload.  The gated
     flag is determinism (parallel cells byte-identical to serial); the speedup is
@@ -425,6 +470,44 @@ def bench_sweep(num_requests: int, fast_mode: bool) -> dict:
         "cells_per_s": round(serial["num_cells"] / parallel_wall, 2),
         "parallel_matches_serial": cells_identical(serial, parallel),
         "consolidated_json": os.path.basename(sweep_path),
+    }
+
+
+def bench_sweep_grid(num_requests: int) -> dict:
+    """Profile a >= 1,000-cell quant-format x kernel x kv_format grid end to end.
+
+    Every registered system crossed with kernel-backend overrides: the workload the
+    unified backend layer exists for (engines are cached per (system, kernel, kv_format)
+    configuration in each worker).  ``cells_per_s`` is gated by
+    ``benchmarks/check_perf_regression.py`` against ``perf_baseline.json`` — a backend
+    resolution accidentally moved into the per-cell path would crater it.
+    """
+    grid = _large_grid(num_requests)
+    start = time.perf_counter()
+    payload = run_sweep(grid, max_workers=SWEEP_WORKERS)
+    wall_s = time.perf_counter() - start
+    frontier = payload["frontier"]
+    return {
+        "workload": {
+            "model": "llama2-7b",
+            "device": "H800",
+            "systems": len(grid.systems),
+            "kernels": len(grid.kernels),
+            "kv_formats": len(grid.kv_formats),
+            "scheduling_policies": len(grid.scheduling_policies),
+            "preemption_policies": len(grid.preemption_policies),
+            "arrival_rates": len(grid.arrival_rates_rps),
+            "num_requests_per_cell": num_requests,
+            "kv_budget_mb": AB_KV_BUDGET_BYTES // 2**20,
+            "slo": {"ttft_s": AB_SLO.ttft_s, "tpot_s": AB_SLO.tpot_s},
+        },
+        "num_cells": payload["num_cells"],
+        "workers": SWEEP_WORKERS,
+        "wall_time_s": round(wall_s, 3),
+        "cells_per_s": round(payload["num_cells"] / wall_s, 1),
+        "frontier_points": frontier["num_points"],
+        "dominated_cells": frontier["dominated_cells"],
+        "best_config": dict(frontier["points"][0]) if frontier["points"] else {},
     }
 
 
@@ -793,6 +876,7 @@ def main() -> None:
     cluster_requests = 60 if args.fast else 200
     mixed_requests = 150 if args.fast else 300
     sweep_requests = 40 if args.fast else 150
+    grid_requests = 8 if args.fast else 12
     # swarms x agents x steps requests; the full trace is 4*6*5 = 120 requests.
     prefix_shape = (2, 4, 3) if args.fast else (4, 6, 5)
 
@@ -810,6 +894,7 @@ def main() -> None:
         "prefix_cache": bench_prefix_cache(*prefix_shape),
         "scale": bench_scale(),
         "sweep": bench_sweep(sweep_requests, fast_mode=args.fast),
+        "sweep_grid": bench_sweep_grid(grid_requests),
         "tensor_parallel_llama2_70b": bench_tensor_parallel(),
     }
     validate_payload(payload)

@@ -13,7 +13,10 @@ fast-forward machinery:
   again if the mixed fast path regressed;
 * ``prefix_cache`` — the shared-prefix agent-swarm path with the radix cache enabled,
   guarding both the O(prefix blocks) trie lookups in admission and the cache-enabled
-  fast-forward proofs (a cache bug that forced stepwise execution would crater this).
+  fast-forward proofs (a cache bug that forced stepwise execution would crater this);
+* ``sweep_grid`` — end-to-end cell throughput of the 1,120-cell kernel-backend grid
+  (``cells_per_s``), guarding the once-per-configuration backend/engine resolution: a
+  backend rebuild accidentally moved into the per-cell path would crater this.
 
 The fraction is deliberately generous (default 0.5x): CI runners are slower and noisier
 than the machines that set the baselines, and this gate exists to catch *algorithmic*
@@ -46,20 +49,27 @@ def main() -> int:
 
     min_fraction = float(baseline["min_fraction"])
     failed = False
-    for section, baseline_key in (
-        ("trace_simulation", "trace_simulation_iterations_per_s"),
-        ("mixed_phase", "mixed_phase_iterations_per_s"),
-        ("prefix_cache", "prefix_cache_iterations_per_s"),
+    for section, keys, baseline_key, unit in (
+        ("trace_simulation", ("harness", "iterations_per_s"),
+         "trace_simulation_iterations_per_s", "it/s"),
+        ("mixed_phase", ("harness", "iterations_per_s"),
+         "mixed_phase_iterations_per_s", "it/s"),
+        ("prefix_cache", ("harness", "iterations_per_s"),
+         "prefix_cache_iterations_per_s", "it/s"),
+        ("sweep_grid", ("cells_per_s",), "sweep_grid_cells_per_s", "cells/s"),
     ):
-        measured = float(payload[section]["harness"]["iterations_per_s"])
+        measured = payload[section]
+        for key in keys:
+            measured = measured[key]
+        measured = float(measured)
         reference = float(baseline[baseline_key])
         floor = reference * min_fraction
-        print(f"{section:<17}: {measured:>10,.0f} it/s  "
+        print(f"{section:<17}: {measured:>10,.0f} {unit}  "
               f"(baseline {reference:,.0f}, floor {min_fraction:g}x = {floor:,.0f})")
         if measured < floor:
             failed = True
             print(
-                f"FAIL: {section} at {measured:,.0f} it/s is below {floor:,.0f} "
+                f"FAIL: {section} at {measured:,.0f} {unit} is below {floor:,.0f} "
                 f"({min_fraction:g}x of the checked-in baseline) — the simulator hot "
                 "path regressed, or this runner is pathologically slow. If the change "
                 "is intentional, update benchmarks/perf_baseline.json in the same PR."

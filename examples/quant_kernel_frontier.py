@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Sweeping quant format x kernel x KV format: the goodput-vs-accuracy frontier.
+
+The unified kernel-backend layer makes the quantization decision a sweep axis: every
+cell derives its system profile with a kernel and/or KV-format override
+(``SystemProfile.derive``), the backend resolves the kernel's GEMM cost parameters and
+the KV format's bytes-per-element once per configuration, and the sweep engine prices
+the full serving simulation for each combination.  The payload's ``frontier`` section
+then answers the deployment question directly: which backend configurations buy
+goodput-per-GPU without paying accuracy (the seeded weight-quantization RMSE proxy of
+:mod:`repro.accuracy.study`), and which accuracy hits buy nothing.
+
+Run:  PYTHONPATH=src python examples/quant_kernel_frontier.py
+"""
+
+from repro.backend import scheme_output_rmse, weight_quant_scheme
+from repro.sweep import SweepGrid, run_sweep
+
+GRID = SweepGrid(
+    systems=("trt-fp16", "liquidserve", "qserve"),
+    kernels=(None, "liquidgemm", "qserve-w4a8", "w4a16"),
+    kv_formats=(None, "int8", "int4"),
+    arrival_rates_rps=(20.0,),
+    num_requests=80,
+    kv_budget_bytes=2 * 2**30,
+)
+
+
+def main():
+    payload = run_sweep(GRID)
+    print(
+        f"{payload['num_cells']} cells "
+        f"(3 systems x 4 kernels x 3 KV formats) in {payload['wall_time_s']:.2f}s "
+        f"({payload['workers']} workers)\n"
+    )
+    header = (
+        f"{'system':<12} {'kernel':<12} {'kv':<5} "
+        f"{'tok/s':>8} {'goodput/GPU':>12} {'rmse':>9} {'attain':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    frontier_indices = {p["index"] for p in payload["frontier"]["points"]}
+    for cell in payload["cells"]:
+        metrics = cell["metrics"]
+        rmse = scheme_output_rmse(weight_quant_scheme(cell["kernel"]))
+        marker = "  <- frontier" if cell["index"] in frontier_indices else ""
+        print(
+            f"{cell['system']:<12} {cell['kernel']:<12} {cell['kv_format']:<5} "
+            f"{metrics['throughput_tokens_per_s']:>8,.0f} "
+            f"{metrics['goodput_rps']:>12.2f} "
+            f"{rmse:>9.4f} "
+            f"{metrics['slo_attainment']:>7.2%}{marker}"
+        )
+
+    frontier = payload["frontier"]
+    print(
+        f"\nPareto frontier ({frontier['objective']}): "
+        f"{frontier['num_points']} points, {frontier['dominated_cells']} dominated cells"
+    )
+    for point in frontier["points"]:
+        print(
+            f"  {point['system']:<12} kernel={point['kernel']:<12} "
+            f"kv={point['kv_format']:<5} "
+            f"goodput/GPU={point['goodput_per_gpu_rps']:.2f} rps  "
+            f"rmse={point['accuracy_rmse']:.4f}  "
+            f"SLO attainment={point['slo_attainment']:.2%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,7 @@ subpackage             contents
 ``repro.costmodel``    the paper's analytical cost model (Eq. 3-6) and roofline analysis
 ``repro.pipeline``     event-driven warp-group pipeline simulation (serial / ExCP / ImFP)
 ``repro.kernels``      LiquidGEMM + baseline kernels behind one interface
+``repro.backend``      unified kernel-backend layer: one interface from kernels/quant to serving
 ``repro.serving``      end-to-end LLM serving model (models, attention, paged KV, systems)
 ``repro.workloads``    per-model GEMM shapes and batch sweeps
 ``repro.sweep``        process-parallel multi-configuration sweep engine over the simulator
@@ -24,6 +25,7 @@ subpackage             contents
 =====================  ========================================================================
 """
 
+from .backend import KernelBackend, build_backend
 from .core import GemmResult, LiquidGemmKernel, compare_kernels, quantize_weights, w4a8_gemm
 from .costmodel import GemmShape
 from .gpu import A100, H100, H800, Device, GpuSpec, Precision, get_gpu
@@ -49,6 +51,8 @@ __all__ = [
     "available_kernels",
     "default_comparison_set",
     "get_kernel",
+    "KernelBackend",
+    "build_backend",
     "ServingEngine",
     "get_model",
     "get_system",

@@ -1,0 +1,31 @@
+"""Unified kernel-backend layer (``kernels/quant -> backend -> engine -> ... -> sweep``).
+
+One pluggable interface bundling everything the serving stack consumes from the
+quantization/kernel core: GEMM cost parameters (system kernel and the reference kernel),
+dequant-path overheads, deployed weight bytes-per-parameter, KV-cache bytes-per-element,
+attention efficiency, and deployed-size accounting.  See :mod:`repro.backend.backend`.
+"""
+
+from .backend import (
+    ACTIVATION_RESERVE_BYTES,
+    DEFAULT_REFERENCE_KERNEL,
+    KernelBackend,
+    available_kernels,
+    available_kv_formats,
+    build_backend,
+    kv_format_bytes,
+    scheme_output_rmse,
+    weight_quant_scheme,
+)
+
+__all__ = [
+    "ACTIVATION_RESERVE_BYTES",
+    "DEFAULT_REFERENCE_KERNEL",
+    "KernelBackend",
+    "available_kernels",
+    "available_kv_formats",
+    "build_backend",
+    "kv_format_bytes",
+    "scheme_output_rmse",
+    "weight_quant_scheme",
+]

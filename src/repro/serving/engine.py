@@ -1,11 +1,13 @@
 """End-to-end LLM serving performance model (Table 1, Figures 4, 10, 11).
 
-The engine composes the substrates built elsewhere in the library:
+The engine composes the substrates built elsewhere in the library, reaching the
+quantization/kernel core exclusively through the unified backend layer
+(:mod:`repro.backend` — one :class:`~repro.backend.KernelBackend` per (system, device)):
 
-* per-layer GEMM latency from the kernel models (:mod:`repro.kernels`) on the layer shapes of
-  :mod:`repro.workloads.shapes` — MoE layers become grouped per-expert GEMMs;
+* per-layer GEMM latency from the backend's resolved kernel cost parameters on the layer
+  shapes of :mod:`repro.workloads.shapes` — MoE layers become grouped per-expert GEMMs;
 * attention cost from the memory-bound decode model (:mod:`repro.serving.attention`) with the
-  system's KV-cache precision and attention efficiency;
+  backend's KV-cache bytes-per-element and attention efficiency;
 * an "Others" bucket (element-wise kernels: layer norms, rotary embedding, residuals, SwiGLU
   activation, dynamic activation quantization) plus per-layer framework overhead;
 * KV-cache capacity from the paged allocator (:mod:`repro.serving.kvcache`) under the GPU
@@ -33,11 +35,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..backend import KernelBackend, build_backend
 from ..costmodel.model import GemmShape, gemm_cost
 from ..gpu.device import Device
 from ..kernels.base import GemmKernel, as_device
-from ..kernels.registry import get_kernel
-from ..quant.kvcache import kv_bytes_per_element
 from ..workloads.shapes import decode_layer_gemms
 from .attention import (
     _ATTENTION_LAUNCH_OVERHEAD_S,
@@ -104,8 +105,6 @@ class _BoundedMemo(dict):
         super().__setitem__(key, value)
 
 
-#: Memory reserved for activations, CUDA graphs, workspace and fragmentation slack.
-_ACTIVATION_RESERVE_BYTES = 2 * 2**30
 #: Element-wise passes over the hidden state per layer (2 layer norms, rotary, 2 residuals,
 #: SwiGLU multiply, activation quantization) in units of (read+write) hidden-state sweeps.
 _ELEMENTWISE_PASSES = 7.0
@@ -200,14 +199,22 @@ class ServingEngine:
         device="H800",
         tp_degree: int = 1,
         memo_cache_entries: int = _MEMO_CACHE_ENTRIES,
+        backend: Optional[KernelBackend] = None,
     ):
         self.system: SystemProfile = system if isinstance(system, SystemProfile) else get_system(system)
         self.model: ModelConfig = model if isinstance(model, ModelConfig) else get_model(model)
         self.device: Device = as_device(device)
         self.model.validate_tp(tp_degree)
         self.tp_degree = tp_degree
-        self.kernel: GemmKernel = get_kernel(self.system.kernel)
-        self._fp16_kernel = get_kernel("fp16")
+        # The backend is the engine's one window into the kernel/quant core: GEMM cost
+        # params (system kernel + the reference kernel for LM head / recompute baselines),
+        # KV bytes-per-element, deployed-size accounting.  ``backend`` lets callers inject
+        # a pre-built (possibly non-registry) backend; by default it is resolved from the
+        # profile, which validates kernel and KV-format names up front.
+        self.backend: KernelBackend = (
+            backend if backend is not None else build_backend(self.system, self.device)
+        )
+        self.kernel: GemmKernel = self.backend.kernel
         if self.model.is_moe and not self.system.supports_moe:
             self.supported = False
         else:
@@ -241,20 +248,21 @@ class ServingEngine:
             "chunk_attention": self._chunk_attention_cache,
         }
         spec = self.device.spec
-        attn_eff = self.system.attention_efficiency
+        attn_eff = self.backend.attention_efficiency
         self._attn_kv_dim = self.model.kv_dim_per_gpu(self.tp_degree)
         self._attn_heads = self.model.heads_per_gpu(self.tp_degree)
-        self._attn_kv_bytes = kv_bytes_per_element(self.system.kv_format)
+        self._attn_kv_bytes = self.backend.kv_bytes_per_element
         # Exactly the scalar sub-expressions of decode_attention_cost_from_totals, hoisted:
         # same operand order, so memoized/vectorized evaluation is bit-identical.
         self._attn_effective_bw = spec.memory_bandwidth * 0.85 * attn_eff
         self._attn_tc_denom = (
             spec.tensor_core_throughput(_tensor_precision(spec)) * attn_eff
         )
-        # Kernel cost-model parameters are pure functions of the GPU spec; resolving them
-        # per GEMM estimate was a measurable share of the scheduler-simulation profile.
-        self._kernel_params = self.kernel.cost_params(spec)
-        self._fp16_kernel_params = self._fp16_kernel.cost_params(spec)
+        # Kernel cost-model parameters are pure functions of the GPU spec; the backend
+        # resolved them once at construction (resolving per GEMM estimate used to be a
+        # measurable share of the scheduler-simulation profile).
+        self._kernel_params = self.backend.gemm_cost_params
+        self._reference_params = self.backend.reference_cost_params
 
     # ------------------------------------------------------------------ cache introspection
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
@@ -275,20 +283,17 @@ class ServingEngine:
 
     # ------------------------------------------------------------------ memory accounting
     def weight_memory_bytes(self) -> int:
-        """GPU memory occupied by one GPU's shard of the model weights."""
-        linear = self.model.gemm_weight_params_per_gpu(self.tp_degree) * self.system.weight_bytes_per_param
-        # Embeddings / LM head kept FP16, vocab-parallel across the TP group.
-        embeddings = self.model.embedding_params() * 2.0 / self.tp_degree
-        return int(linear + embeddings)
+        """GPU memory occupied by one GPU's shard of the model weights.
+
+        Deployed-size accounting lives on the backend (linear layers at the system's
+        bytes-per-parameter; embeddings / LM head kept FP16, vocab-parallel across the
+        TP group); this is its engine-facing alias.
+        """
+        return self.backend.deployed_weight_bytes(self.model, self.tp_degree)
 
     def kv_budget_bytes(self) -> int:
         """Per-GPU KV-cache budget after weights and the activation reserve."""
-        budget = (
-            self.device.spec.memory_capacity
-            - self.weight_memory_bytes()
-            - _ACTIVATION_RESERVE_BYTES
-        )
-        return int(max(0, budget))
+        return self.backend.kv_budget_bytes(self.model, self.tp_degree)
 
     def kv_cache_config(self) -> KvCacheConfig:
         return KvCacheConfig(
@@ -401,8 +406,8 @@ class ServingEngine:
             self.device.spec,
             batch_size,
             context_length,
-            kv_bytes_per_element(self.system.kv_format),
-            attention_efficiency=self.system.attention_efficiency,
+            self.backend.kv_bytes_per_element,
+            attention_efficiency=self.backend.attention_efficiency,
             tp_degree=self.tp_degree,
         )
         return cost.total
@@ -437,7 +442,9 @@ class ServingEngine:
         if cached is not None:
             return cached
         shape = GemmShape(num_tokens, self.model.vocab_size // self.tp_degree, self.model.hidden_size)
-        total = gemm_cost(shape, self.device.spec, self._fp16_kernel_params).total
+        # LM head runs under the backend's reference kernel (FP16 unless the profile
+        # overrides it): logits stay full precision in every system compared.
+        total = gemm_cost(shape, self.device.spec, self._reference_params).total
         total += self._logits_gather_time(num_tokens)
         self._lm_head_cache[num_tokens] = total
         return total
@@ -591,8 +598,8 @@ class ServingEngine:
                     self.device.spec,
                     chunk_key[0],
                     chunk_key[1],
-                    kv_bytes_per_element(self.system.kv_format),
-                    attention_efficiency=self.system.attention_efficiency,
+                    self.backend.kv_bytes_per_element,
+                    attention_efficiency=self.backend.attention_efficiency,
                     tp_degree=self.tp_degree,
                 ).total
                 cache[chunk_key] = chunk_attention
@@ -666,7 +673,7 @@ class ServingEngine:
             totals = np.asarray(decode_total_contexts, dtype=np.float64)
             attention = self._mixed_decode_attention_times(decode_batch, totals)
         spec = self.device.spec
-        kv_bytes = kv_bytes_per_element(self.system.kv_format)
+        kv_bytes = self.backend.kv_bytes_per_element
         for tokens, starts in chunk_runs:
             chunk_attention = chunked_prefill_attention_times(
                 self.model,
@@ -674,7 +681,7 @@ class ServingEngine:
                 tokens,
                 starts,
                 kv_bytes,
-                attention_efficiency=self.system.attention_efficiency,
+                attention_efficiency=self.backend.attention_efficiency,
                 tp_degree=self.tp_degree,
             )
             attention = (
@@ -714,7 +721,7 @@ class ServingEngine:
                 batch_size, cached_prefix_tokens
             )
         flops = 2.0 * batch_size * prompt_length * self.model.active_params_per_token() / self.tp_degree
-        mma_precision = self.kernel.cost_params(self.device.spec).mma_precision
+        mma_precision = self.backend.mma_precision
         peak = self.device.spec.tensor_core_throughput(mma_precision)
         gemm = flops / (peak * 0.75)
         attention = (

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Dict, List
 
-from ..quant.kvcache import kv_bytes_per_element
+from ..backend import kv_format_bytes
 from .models import ModelConfig
 
 __all__ = ["KvCacheConfig", "PagedKvCache", "KvCacheOutOfMemory", "SequenceState"]
@@ -60,7 +60,7 @@ class KvCacheConfig:
     @cached_property
     def bytes_per_token(self) -> float:
         """KV bytes one token occupies on one GPU across all layers (K and V)."""
-        full = self.model.kv_bytes_per_token(kv_bytes_per_element(self.kv_format))
+        full = self.model.kv_bytes_per_token(kv_format_bytes(self.kv_format))
         if self.tp_degree == 1:
             return full
         return full * self.model.kv_dim_per_gpu(self.tp_degree) / self.model.kv_dim

@@ -19,6 +19,7 @@ batch sizes — nothing is fitted per experiment.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -47,6 +48,10 @@ class SystemProfile:
     #: Pinned host memory available per GPU for swap-based preemption (vLLM's ``swap_space``
     #: knob, 4 GiB by default).  0 disables swapping: every preemption recomputes.
     host_kv_swap_bytes: int = 4 * 2**30
+    #: Kernel used for the LM head and FP-reference baselines (recompute costing, logits).
+    #: Every system the paper compares keeps those FP16, hence the default; the backend
+    #: layer resolves it, so non-default reference kernels are expressible per profile.
+    reference_kernel: str = "fp16"
 
     def __post_init__(self):
         if self.weight_bytes_per_param <= 0:
@@ -59,6 +64,34 @@ class SystemProfile:
             raise ValueError("max_batched_tokens must be positive")
         if self.host_kv_swap_bytes < 0:
             raise ValueError("host_kv_swap_bytes must be non-negative")
+
+    def derive(self, name: Optional[str] = None, **overrides) -> "SystemProfile":
+        """A copy of this profile with some fields replaced — the composable-sweep hook.
+
+        ``derive(kernel="liquidgemm", kv_format="int4")`` turns any registered profile
+        into a quant-format x kernel x kv_format grid point without registering a new
+        named system.  Overrides passed as ``None`` are ignored (so sweep axes can carry
+        "use the system default" as ``None``).  Unless ``name`` is given, the derived
+        profile is named ``base[field=value,...]`` listing exactly the changed fields.
+        Field *names* are validated here; kernel / KV-format *values* are validated when
+        the backend layer resolves them against the registries.
+        """
+        effective = {k: v for k, v in overrides.items() if v is not None}
+        valid = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(effective) - valid)
+        if unknown:
+            raise TypeError(
+                f"unknown SystemProfile field(s) {unknown}; valid: {sorted(valid)}"
+            )
+        changed = {
+            k: v for k, v in effective.items() if getattr(self, k) != v
+        }
+        if name is None:
+            if not changed:
+                return self
+            suffix = ",".join(f"{k}={v}" for k, v in sorted(changed.items()))
+            name = f"{self.name}[{suffix}]"
+        return dataclasses.replace(self, name=name, **changed)
 
 
 #: Replica roles a cluster topology can assign (see :class:`ClusterSpec`).

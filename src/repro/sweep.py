@@ -5,8 +5,9 @@ runs — "which preemption policy wins on *this* system at *that* arrival rate, 
 answer survive disaggregation?" — are grids.  This module turns the simulator into an
 experiment platform:
 
-* **Declarative grid** — :class:`SweepGrid` spans models × systems × scheduling policies ×
-  preemption policies × arrival rates × cluster shapes, plus the shared workload knobs
+* **Declarative grid** — :class:`SweepGrid` spans models × systems × kernels × KV formats ×
+  scheduling policies × preemption policies × arrival rates × cluster shapes, plus the
+  shared workload knobs
   (trace size, length distributions, KV budgets, SLO).  :meth:`SweepGrid.cells` expands it
   into a deterministic, index-ordered cell list.
 * **Deterministic per-cell seeds** — every cell's trace seed is derived from the grid's
@@ -15,8 +16,9 @@ experiment platform:
   other cell's trace (and therefore its results) byte-identical.
 * **Process-parallel execution** — :func:`run_sweep` fans cells over a
   ``ProcessPoolExecutor``; each worker process keeps a per-process
-  :class:`~repro.serving.engine.ServingEngine` cache keyed by (system, model, device, tp),
-  so the engine's bounded step-cost memos stay warm across the cells that share a
+  :class:`~repro.serving.engine.ServingEngine` cache keyed by (system, kernel, kv_format,
+  model, device, tp), so the engine's bounded step-cost memos stay warm across the cells
+  that share a
   configuration.  Results are returned in cell order regardless of completion order, and a
   serial run of the same grid produces the byte-identical payload (modulo wall-clock
   fields) — the determinism contract the benchmark harness gates on.
@@ -43,12 +45,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .backend import available_kernels, available_kv_formats, scheme_output_rmse, weight_quant_scheme
 from .reporting.schema import validate_payload
 from .serving.cluster import ServingCluster
 from .serving.engine import ServingEngine
 from .serving.metrics import SloSpec
+from .serving.models import list_models
 from .serving.scheduler import ContinuousBatchingScheduler
-from .serving.systems import ClusterSpec
+from .serving.systems import ClusterSpec, SystemProfile, get_system, list_systems
 from .workloads.traces import (
     SHAREGPT_OUTPUTS,
     SHAREGPT_PROMPTS,
@@ -61,6 +65,8 @@ __all__ = [
     "SweepGrid",
     "SWEEP_SCHEMA",
     "derive_cell_seed",
+    "resolve_cell_profile",
+    "compute_frontier",
     "run_sweep",
     "cells_identical",
     "write_sweep_json",
@@ -85,6 +91,8 @@ SWEEP_SCHEMA = {
             "arrival_rate_rps": float,
             "cluster": dict,
             "seed": int,
+            "kernel": str,       # effective GEMM kernel (system default unless overridden)
+            "kv_format": str,    # effective KV-cache format
             "wall_time_s": float,
             "metrics": {
                 "completed_requests": int,
@@ -101,6 +109,28 @@ SWEEP_SCHEMA = {
             },
         }
     ],
+    # Pareto frontier over (goodput-per-GPU, accuracy proxy) across all cells: the
+    # headline quant-format x kernel x kv_format interaction, reported alongside the raw
+    # grid so downstream tooling never recomputes it.
+    "frontier": {
+        "objective": str,
+        "num_points": int,
+        "dominated_cells": int,
+        "points": [
+            {
+                "index": int,
+                "system": str,
+                "model": str,
+                "kernel": str,
+                "kv_format": str,
+                "cluster": str,
+                "gpus": int,
+                "goodput_per_gpu_rps": float,
+                "accuracy_rmse": float,
+                "slo_attainment": float,
+            }
+        ],
+    },
 }
 
 #: The single-replica (no cluster layer) shape; the default grid axis.
@@ -134,7 +164,7 @@ def _cluster_label(shape: Dict[str, Any]) -> str:
 class SweepGrid:
     """A declarative grid of serving-simulation configurations.
 
-    The five swept axes are the cartesian product; everything else is shared workload
+    The swept axes are the cartesian product; everything else is shared workload
     configuration applied to every cell.  ``cluster_shapes`` entries are plain dicts:
     ``{"mode": "single"}`` (one replica, no cluster layer),
     ``{"mode": "colocated", "num_replicas": N, "router": name?}`` or
@@ -147,6 +177,12 @@ class SweepGrid:
     preemption_policies: Sequence[str] = ("recompute",)
     arrival_rates_rps: Sequence[float] = (10.0,)
     cluster_shapes: Sequence[Dict[str, Any]] = (SINGLE_REPLICA,)
+    #: Kernel-backend axes: each entry overrides the system profile's GEMM kernel /
+    #: KV-cache format via :meth:`SystemProfile.derive`; ``None`` keeps the system default.
+    #: The default singleton ``(None,)`` leaves existing grids (cells, keys, seeds)
+    #: byte-identical.
+    kernels: Sequence[Optional[str]] = (None,)
+    kv_formats: Sequence[Optional[str]] = (None,)
     # Shared workload knobs:
     num_requests: int = 200
     base_seed: int = 0
@@ -171,6 +207,8 @@ class SweepGrid:
             "preemption_policies": list(self.preemption_policies),
             "arrival_rates_rps": list(self.arrival_rates_rps),
             "cluster_shapes": [_cluster_label(s) for s in self.cluster_shapes],
+            "kernels": ["default" if k is None else k for k in self.kernels],
+            "kv_formats": ["default" if f is None else f for f in self.kv_formats],
             "num_requests": self.num_requests,
             "base_seed": self.base_seed,
             "device": self.device,
@@ -188,10 +226,12 @@ class SweepGrid:
     def cells(self) -> List[Dict[str, Any]]:
         """Expand the grid into its cell list (deterministic, index-ordered)."""
         cells: List[Dict[str, Any]] = []
-        for index, (model, system, scheduling, preemption, rate, shape) in enumerate(
+        for index, (model, system, kernel, kv_format, scheduling, preemption, rate, shape) in enumerate(
             itertools.product(
                 self.models,
                 self.systems,
+                self.kernels,
+                self.kv_formats,
                 self.scheduling_policies,
                 self.preemption_policies,
                 self.arrival_rates_rps,
@@ -202,11 +242,19 @@ class SweepGrid:
                 f"model={model}|system={system}|scheduling={scheduling}"
                 f"|preemption={preemption}|rate={rate:g}|cluster={_cluster_label(shape)}"
             )
+            # Backend overrides extend the key only when set, so every pre-existing cell
+            # keeps its exact seed (and therefore its byte-identical trace and results).
+            if kernel is not None:
+                key += f"|kernel={kernel}"
+            if kv_format is not None:
+                key += f"|kvfmt={kv_format}"
             cells.append(
                 {
                     "index": index,
                     "system": system,
                     "model": model,
+                    "kernel": kernel,
+                    "kv_format": kv_format,
                     "scheduling_policy": scheduling,
                     "preemption_policy": preemption,
                     "arrival_rate_rps": float(rate),
@@ -230,17 +278,36 @@ class SweepGrid:
         return cells
 
 
+def resolve_cell_profile(cell: Dict[str, Any]) -> SystemProfile:
+    """The effective :class:`SystemProfile` for a cell: registry profile + backend overrides.
+
+    Cells carry the *requested* kernel / kv_format (``None`` = system default); the
+    derived profile is what the engine — and therefore the kernel backend — actually runs.
+    """
+    return get_system(cell["system"]).derive(
+        kernel=cell.get("kernel"), kv_format=cell.get("kv_format")
+    )
+
+
 # Per-process engine cache: worker processes live for the whole sweep, so cells sharing a
-# (system, model, device, tp) configuration reuse one engine — and its bounded step-cost
-# memos — instead of rebuilding the cost model per cell.
-_ENGINE_CACHE: Dict[Tuple[str, str, str, int], ServingEngine] = {}
+# (system, kernel, kv_format, model, device, tp) configuration reuse one engine — and its
+# bounded step-cost memos — instead of rebuilding the cost model per cell.
+_ENGINE_CACHE: Dict[
+    Tuple[str, Optional[str], Optional[str], str, str, int], ServingEngine
+] = {}
 
 
-def _cached_engine(system: str, model: str, device: str, tp_degree: int) -> ServingEngine:
-    key = (system, model, device, tp_degree)
+def _cached_engine(cell: Dict[str, Any]) -> ServingEngine:
+    key = (
+        cell["system"], cell.get("kernel"), cell.get("kv_format"),
+        cell["model"], cell["device"], cell["tp_degree"],
+    )
     engine = _ENGINE_CACHE.get(key)
     if engine is None:
-        engine = ServingEngine(system, model, device=device, tp_degree=tp_degree)
+        profile = resolve_cell_profile(cell)
+        engine = ServingEngine(
+            profile, cell["model"], device=cell["device"], tp_degree=cell["tp_degree"]
+        )
         _ENGINE_CACHE[key] = engine
     return engine
 
@@ -252,9 +319,7 @@ def _run_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
     in the cell dict; the only cross-cell state is the pure per-process engine cache.
     """
     start = time.perf_counter()
-    engine = _cached_engine(
-        cell["system"], cell["model"], cell["device"], cell["tp_degree"]
-    )
+    engine = _cached_engine(cell)
     trace = generate_trace(
         cell["num_requests"],
         ArrivalProcess(rate_rps=cell["arrival_rate_rps"]),
@@ -322,6 +387,9 @@ def _run_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
         "arrival_rate_rps": cell["arrival_rate_rps"],
         "cluster": dict(cell["cluster"], label=_cluster_label(cell["cluster"])),
         "seed": cell["seed"],
+        # Effective backend configuration (post-derive): always concrete names, never None.
+        "kernel": engine.system.kernel,
+        "kv_format": engine.system.kv_format,
         "wall_time_s": round(wall_s, 4),
         "metrics": {
             "completed_requests": metrics_source["completed_requests"],
@@ -336,6 +404,70 @@ def _run_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
             "slo_attainment": round(report.attainment, 4),
             "goodput_rps": round(report.goodput_rps, 3),
         },
+    }
+
+
+def _cell_gpus(cluster: Dict[str, Any], tp_degree: int) -> int:
+    """GPU count a cell occupies: replicas in its cluster shape x tensor-parallel degree."""
+    mode = cluster.get("mode", "single")
+    if mode == "single":
+        replicas = 1
+    elif mode == "colocated":
+        replicas = cluster.get("num_replicas") or 2
+    else:
+        replicas = cluster.get("num_prefill_replicas", 1) + cluster.get(
+            "num_decode_replicas", 1
+        )
+    return replicas * tp_degree
+
+
+def compute_frontier(results: Sequence[Dict[str, Any]], tp_degree: int = 1) -> Dict[str, Any]:
+    """Pareto frontier over (goodput-per-GPU up, accuracy-RMSE down) across result rows.
+
+    Each cell's accuracy proxy is the weight-quantization RMSE of its *effective* kernel
+    (:func:`repro.backend.scheme_output_rmse`), so the frontier answers the question the
+    quant-format x kernel x kv_format sweep exists to ask: which backend configurations
+    buy goodput without paying accuracy, and which accuracy hits buy nothing.  A cell is
+    dominated when another cell is at least as good on both objectives and strictly
+    better on one.  Points are sorted by descending goodput-per-GPU.
+    """
+    candidates = []
+    for row in results:
+        gpus = _cell_gpus(row["cluster"], tp_degree)
+        rmse = scheme_output_rmse(weight_quant_scheme(row["kernel"]))
+        candidates.append(
+            {
+                "index": row["index"],
+                "system": row["system"],
+                "model": row["model"],
+                "kernel": row["kernel"],
+                "kv_format": row["kv_format"],
+                "cluster": row["cluster"]["label"],
+                "gpus": gpus,
+                "goodput_per_gpu_rps": round(row["metrics"]["goodput_rps"] / gpus, 4),
+                "accuracy_rmse": round(rmse, 6),
+                "slo_attainment": row["metrics"]["slo_attainment"],
+            }
+        )
+    points = [
+        p
+        for p in candidates
+        if not any(
+            (q["goodput_per_gpu_rps"] >= p["goodput_per_gpu_rps"])
+            and (q["accuracy_rmse"] <= p["accuracy_rmse"])
+            and (
+                q["goodput_per_gpu_rps"] > p["goodput_per_gpu_rps"]
+                or q["accuracy_rmse"] < p["accuracy_rmse"]
+            )
+            for q in candidates
+        )
+    ]
+    points.sort(key=lambda p: (-p["goodput_per_gpu_rps"], p["accuracy_rmse"], p["index"]))
+    return {
+        "objective": "max goodput_per_gpu_rps / min accuracy_rmse",
+        "num_points": len(points),
+        "dominated_cells": len(candidates) - len(points),
+        "points": points,
     }
 
 
@@ -373,6 +505,7 @@ def run_sweep(
         "parallel": workers > 1,
         "wall_time_s": round(wall_s, 3),
         "cells": results,
+        "frontier": compute_frontier(results, grid.tp_degree),
     }
     validate_payload(payload, SWEEP_SCHEMA)
     return payload
@@ -404,6 +537,26 @@ def write_sweep_json(payload: Dict[str, Any], path: str) -> str:
     return path
 
 
+def _validate_choices(
+    parser: argparse.ArgumentParser,
+    option: str,
+    requested: Sequence[str],
+    available: Sequence[str],
+) -> None:
+    """Fail fast — before any worker spawns — on unknown registry names.
+
+    Without this, a typo'd ``--systems`` name surfaces as a ``KeyError`` deep inside a
+    worker process, stripped of context by pickling.  ``parser.error`` exits with status
+    2 and a message listing every available name.
+    """
+    unknown = sorted(set(requested) - set(available))
+    if unknown:
+        parser.error(
+            f"unknown {option} name(s): {', '.join(unknown)}; "
+            f"available: {', '.join(available)}"
+        )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="sweep.json", help="output JSON path")
@@ -414,12 +567,30 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--num-requests", type=int, default=200,
                         help="trace size per cell")
     parser.add_argument("--systems", nargs="+", default=["liquidserve", "trt-fp16"])
+    parser.add_argument("--models", nargs="+", default=["llama2-7b"])
+    parser.add_argument("--kernels", nargs="+", default=["default"],
+                        help="GEMM kernel overrides ('default' = system's kernel)")
+    parser.add_argument("--kv-formats", nargs="+", default=["default"],
+                        help="KV-cache format overrides ('default' = system's format)")
     parser.add_argument("--scheduling", nargs="+", default=["fcfs", "sjf"])
     parser.add_argument("--preemption", nargs="+", default=["recompute", "hybrid"])
     parser.add_argument("--rates", nargs="+", type=float, default=[15.0, 25.0])
     args = parser.parse_args(argv)
+    _validate_choices(parser, "--systems", args.systems, list_systems())
+    _validate_choices(parser, "--models", args.models, list_models())
+    _validate_choices(
+        parser, "--kernels",
+        [k for k in args.kernels if k != "default"], available_kernels(),
+    )
+    _validate_choices(
+        parser, "--kv-formats",
+        [f for f in args.kv_formats if f != "default"], available_kv_formats(),
+    )
     grid = SweepGrid(
         systems=tuple(args.systems),
+        models=tuple(args.models),
+        kernels=tuple(None if k == "default" else k for k in args.kernels),
+        kv_formats=tuple(None if f == "default" else f for f in args.kv_formats),
         scheduling_policies=tuple(args.scheduling),
         preemption_policies=tuple(args.preemption),
         arrival_rates_rps=tuple(args.rates),

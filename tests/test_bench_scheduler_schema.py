@@ -141,6 +141,33 @@ class TestBenchSchema:
         validate(sweep_payload, SWEEP_SCHEMA)
         assert sweep_payload["num_cells"] == payload["sweep"]["num_cells"]
         assert len(sweep_payload["cells"]) == sweep_payload["num_cells"]
+        # Every cell reports its effective backend configuration, and the payload
+        # carries the goodput-per-GPU vs. accuracy frontier.
+        for cell in sweep_payload["cells"]:
+            assert cell["kernel"] and cell["kv_format"]
+        frontier = sweep_payload["frontier"]
+        assert frontier["num_points"] >= 1
+        assert frontier["num_points"] + frontier["dominated_cells"] == (
+            sweep_payload["num_cells"]
+        )
+
+    def test_sweep_grid_section_profiles_a_large_grid(self, payload):
+        """PR-7's profiling criterion: the kernel-backend grid spans >= 1,000 cells
+        end to end (the scale the per-configuration engine cache exists for), with a
+        live cell throughput for the perf-regression gate and a non-empty frontier."""
+        section = payload["sweep_grid"]
+        assert section["num_cells"] >= 1000
+        assert section["workers"] == 4
+        assert section["wall_time_s"] > 0.0
+        assert section["cells_per_s"] > 0.0
+        assert section["frontier_points"] >= 1
+        assert (
+            section["frontier_points"] + section["dominated_cells"]
+            == section["num_cells"]
+        )
+        best = section["best_config"]
+        assert best["goodput_per_gpu_rps"] > 0.0
+        assert best["gpus"] >= 1
 
     def test_committed_trajectory_records_fast_forward_speedup(self, payload):
         """PR-4's acceptance criterion, pinned against the committed trajectory: the

@@ -17,7 +17,10 @@ from repro.sweep import (
     SWEEP_SCHEMA,
     SweepGrid,
     cells_identical,
+    compute_frontier,
     derive_cell_seed,
+    main as sweep_main,
+    resolve_cell_profile,
     run_sweep,
     write_sweep_json,
 )
@@ -126,6 +129,151 @@ class TestPayloadSchema:
             loaded = json.load(fh)
         validate_payload(loaded, SWEEP_SCHEMA)
         assert cells_identical(payload, loaded)
+
+
+class TestBackendAxes:
+    """The quant-format x kernel x kv_format axes added by the backend layer."""
+
+    BACKEND_GRID = SweepGrid(
+        systems=("trt-fp16",),
+        kernels=(None, "liquidgemm"),
+        kv_formats=(None, "int4"),
+        arrival_rates_rps=(20.0,),
+        num_requests=10,
+        kv_budget_bytes=2 * 2**30,
+    )
+
+    def test_default_axes_leave_existing_grids_untouched(self):
+        """A grid without backend overrides expands to the exact pre-axis cells: same
+        count, same keys, same seeds — the compatibility contract for committed JSONs."""
+        cells = SMALL_GRID.cells()
+        assert all(c["kernel"] is None and c["kv_format"] is None for c in cells)
+        # Seed must not see the new axes when they are defaulted: key is unchanged.
+        expected = derive_cell_seed(
+            SMALL_GRID.base_seed,
+            "model=llama2-7b|system=liquidserve|scheduling=fcfs"
+            "|preemption=recompute|rate=20|cluster=single",
+        )
+        assert cells[0]["seed"] == expected
+
+    def test_override_cells_get_distinct_seeds(self):
+        cells = self.BACKEND_GRID.cells()
+        assert len(cells) == 4  # kernels x kv_formats
+        assert len({c["seed"] for c in cells}) == 4
+        assert {(c["kernel"], c["kv_format"]) for c in cells} == {
+            (None, None), (None, "int4"), ("liquidgemm", None), ("liquidgemm", "int4"),
+        }
+
+    def test_resolve_cell_profile_applies_overrides(self):
+        cells = self.BACKEND_GRID.cells()
+        default = resolve_cell_profile(cells[0])
+        derived = resolve_cell_profile(cells[-1])
+        assert default.kernel == "fp16" and default.kv_format == "fp8"
+        assert derived.kernel == "liquidgemm" and derived.kv_format == "int4"
+        assert derived.name == "trt-fp16[kernel=liquidgemm,kv_format=int4]"
+
+    def test_sweep_runs_and_reports_effective_backend(self):
+        payload = run_sweep(self.BACKEND_GRID, parallel=False)
+        validate_payload(payload, SWEEP_SCHEMA)
+        by_cfg = {
+            (c["kernel"], c["kv_format"]): c["metrics"] for c in payload["cells"]
+        }
+        # Result rows carry the *effective* names, never None.
+        assert ("fp16", "fp8") in by_cfg and ("liquidgemm", "int4") in by_cfg
+        # The kernel override must actually change the simulated physics.
+        assert (
+            by_cfg[("fp16", "fp8")]["throughput_tokens_per_s"]
+            != by_cfg[("liquidgemm", "fp8")]["throughput_tokens_per_s"]
+        )
+        assert payload["grid"]["kernels"] == ["default", "liquidgemm"]
+        assert payload["grid"]["kv_formats"] == ["default", "int4"]
+
+
+class TestFrontier:
+    def test_frontier_in_payload_and_schema_valid(self, payload):
+        frontier = payload["frontier"]
+        assert frontier["num_points"] >= 1
+        assert frontier["num_points"] + frontier["dominated_cells"] == payload["num_cells"]
+
+    def test_frontier_is_pareto(self, payload):
+        points = payload["frontier"]["points"]
+        # Sorted by descending goodput-per-GPU; no point dominates another.
+        goodputs = [p["goodput_per_gpu_rps"] for p in points]
+        assert goodputs == sorted(goodputs, reverse=True)
+        for p in points:
+            for q in points:
+                if p is q:
+                    continue
+                dominates = (
+                    q["goodput_per_gpu_rps"] >= p["goodput_per_gpu_rps"]
+                    and q["accuracy_rmse"] <= p["accuracy_rmse"]
+                    and (
+                        q["goodput_per_gpu_rps"] > p["goodput_per_gpu_rps"]
+                        or q["accuracy_rmse"] < p["accuracy_rmse"]
+                    )
+                )
+                assert not dominates
+
+    def test_gpu_normalization(self, payload):
+        by_label = {}
+        for point in payload["frontier"]["points"]:
+            by_label[point["cluster"]] = point["gpus"]
+        for cell in payload["cells"]:
+            label = cell["cluster"]["label"]
+            if label in by_label:
+                expected = {"single": 1, "colocated-2": 2, "disaggregated-1p+1d": 2}[label]
+                assert by_label[label] == expected
+
+    def test_compute_frontier_drops_dominated(self):
+        rows = [
+            {"index": i, "system": "s", "model": "m", "kernel": k, "kv_format": "int8",
+             "cluster": {"mode": "single", "label": "single"},
+             "metrics": {"goodput_rps": g, "slo_attainment": 1.0}}
+            for i, (k, g) in enumerate(
+                [("fp16", 1.0), ("liquidgemm", 2.0), ("qserve-w4a8", 1.5)]
+            )
+        ]
+        frontier = compute_frontier(rows, tp_degree=1)
+        # fp16 (rmse 0) and liquidgemm (max goodput) survive; qserve is dominated by
+        # liquidgemm (its RMSE proxy is higher and its goodput lower).
+        kept = {p["kernel"] for p in frontier["points"]}
+        assert kept == {"fp16", "liquidgemm"}
+        assert frontier["dominated_cells"] == 1
+
+
+class TestCliValidation:
+    """Unknown registry names fail fast at argparse time, listing what exists."""
+
+    @pytest.mark.parametrize(
+        "argv, fragment",
+        [
+            (["--systems", "nope"], "unknown --systems"),
+            (["--models", "nope"], "unknown --models"),
+            (["--kernels", "nope"], "unknown --kernels"),
+            (["--kv-formats", "nope"], "unknown --kv-formats"),
+        ],
+    )
+    def test_unknown_names_exit_with_listing(self, argv, fragment, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            sweep_main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert fragment in err and "available:" in err
+
+    def test_cli_runs_tiny_grid(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        sweep_main(
+            [
+                "--out", str(out), "--serial", "--num-requests", "5",
+                "--systems", "liquidserve", "--scheduling", "fcfs",
+                "--preemption", "recompute", "--rates", "20",
+                "--kernels", "default", "liquidgemm", "--kv-formats", "default",
+            ]
+        )
+        with open(out, encoding="utf-8") as fh:
+            loaded = json.load(fh)
+        validate_payload(loaded, SWEEP_SCHEMA)
+        assert loaded["num_cells"] == 2
 
 
 class TestSingleCellAgainstCoreApi:
