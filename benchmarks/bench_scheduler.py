@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Performance harness for the request-level scheduler simulation.
 
-Ten sections, written to ``BENCH_scheduler.json`` at the repository root so subsequent PRs
+Eleven sections, written to ``BENCH_scheduler.json`` at the repository root so subsequent PRs
 can track both simulator wall-time (is the scheduler hot loop regressing?) and the simulated
 serving metrics (did a change silently alter the model?):
 
@@ -41,6 +41,12 @@ serving metrics (did a change silently alter the model?):
   system crossed with backend overrides) profiled end to end; ``cells_per_s`` is floored
   by ``benchmarks/check_perf_regression.py`` and the payload records the goodput-per-GPU
   vs. accuracy frontier summary;
+* ``tracing`` — the telemetry overhead section: the ``trace_simulation`` workload re-run
+  tracer-off (best of five — the null-tracer hooks must cost nothing; the regression gate
+  floors ``off_vs_baseline_ratio``) and once tracer-on, asserting live that tracing leaves
+  the simulated results bit-identical and that every per-request phase breakdown tiles its
+  end-to-end latency exactly; the traced run's Chrome/Perfetto timeline is written next to
+  the payload (``BENCH_trace[.fast].json``) and uploaded as a CI artifact;
 * ``tensor_parallel_llama2_70b`` — the TP acceptance scenario (OOM on one GPU, finite on 4).
 
 The payload always matches ``SCHEMA`` below (validated before writing; the tier-1 suite
@@ -77,6 +83,7 @@ from repro.serving import (
 )
 from repro.serving.systems import list_systems
 from repro.sweep import SINGLE_REPLICA, SweepGrid, cells_identical, run_sweep, write_sweep_json
+from repro.telemetry import Tracer, request_breakdowns, write_chrome_trace
 from repro.workloads.traces import LengthDistribution, agent_swarm_trace
 
 RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_scheduler.json")
@@ -90,6 +97,12 @@ FAST_RESULT_PATH = os.path.join(
 SWEEP_RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_sweep.json")
 SWEEP_FAST_RESULT_PATH = os.path.join(
     os.path.dirname(__file__), os.pardir, "BENCH_sweep.fast.json"
+)
+#: The tracing section's Chrome/Perfetto timeline of the traced run (a CI artifact, so a
+#: failed run's schedule can be inspected visually; fast mode writes the ``.fast`` twin).
+TRACE_RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_trace.json")
+TRACE_FAST_RESULT_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_trace.fast.json"
 )
 
 #: Shared A/B workload: a KV-constrained pool (device budget shrunk well below the 80 GB
@@ -286,6 +299,20 @@ SCHEMA = {
         "frontier_points": int,
         "dominated_cells": int,
         "best_config": dict,  # the frontier's top goodput-per-GPU point
+    },
+    "tracing": {
+        "workload": dict,
+        "harness": {
+            "wall_time_s": float,             # best-of-5, tracer off (the null path)
+            "iterations_per_s": float,
+            "traced_wall_time_s": float,      # single tracer-on run
+            "off_vs_baseline_ratio": float,   # trace_simulation wall / tracer-off wall
+        },
+        "events": int,
+        "counter_samples": int,
+        "bit_identical": bool,       # tracer-on simulated results == tracer-off, live
+        "breakdowns_exact": bool,    # every phase breakdown tiles its e2e latency
+        "trace_artifact": str,
     },
     "tensor_parallel_llama2_70b": {
         "single_gpu_oom": bool,
@@ -842,6 +869,76 @@ def dump_requests_csv(sim, path: str) -> None:
             ])
 
 
+def bench_tracing(num_requests: int, baseline_wall_s: float, fast_mode: bool) -> dict:
+    """Telemetry overhead and correctness on the ``trace_simulation`` workload.
+
+    Re-measures the identical workload tracer-off (best of five, like the baseline
+    section) so ``off_vs_baseline_ratio`` isolates what the null-tracer hooks cost —
+    the ``is None`` guards threaded through the scheduler hot loop must be free, and
+    ``check_perf_regression.py`` floors the ratio.  Then one tracer-on run asserts,
+    live, the two contracts the telemetry subsystem is built on: simulated results
+    bit-identical to the untraced run, and every request's phase breakdown tiling its
+    end-to-end latency exactly.  The traced timeline is written as a Chrome/Perfetto
+    JSON artifact next to the payload.
+    """
+    kwargs = dict(
+        num_requests=num_requests, arrival_rate_rps=20.0, seed=0, slo=AB_SLO,
+    )
+    off_wall, off_sim = float("inf"), None
+    for _ in range(5):
+        start = time.perf_counter()
+        off_sim = simulate_serving("liquidserve", "llama2-7b", **kwargs)
+        off_wall = min(off_wall, time.perf_counter() - start)
+
+    tracer = Tracer(label="bench_trace_simulation")
+    start = time.perf_counter()
+    on_sim = simulate_serving("liquidserve", "llama2-7b", tracer=tracer, **kwargs)
+    on_wall = time.perf_counter() - start
+
+    bit_identical = (
+        on_sim.per_request == off_sim.per_request
+        and on_sim.stats.num_iterations == off_sim.stats.num_iterations
+        and on_sim.stats.generated_tokens == off_sim.stats.generated_tokens
+        and on_sim.stats.throughput_tokens_per_s
+        == off_sim.stats.throughput_tokens_per_s
+    )
+    if not bit_identical:  # pragma: no cover - pinned by the tier-1 suite
+        raise SystemExit("tracing: tracer-on run diverged from tracer-off run")
+    breakdowns = request_breakdowns(tracer)
+    breakdowns_exact = len(breakdowns) == len(on_sim.per_request) and all(
+        bd.is_exact for bd in breakdowns
+    )
+    artifact = os.path.abspath(
+        TRACE_FAST_RESULT_PATH if fast_mode else TRACE_RESULT_PATH
+    )
+    write_chrome_trace(tracer, artifact, breakdowns)
+    return {
+        "workload": {
+            "system": on_sim.system,
+            "model": on_sim.model,
+            "device": "H800",
+            "num_requests": num_requests,
+            "arrival": "poisson-20rps",
+            "lengths": "sharegpt-lognormal",
+            "seed": 0,
+            "slo": {"ttft_s": AB_SLO.ttft_s, "tpot_s": AB_SLO.tpot_s},
+        },
+        "harness": {
+            "wall_time_s": round(off_wall, 4),
+            "iterations_per_s": round(off_sim.stats.num_iterations / off_wall, 1),
+            "traced_wall_time_s": round(on_wall, 4),
+            # >= 1.0 means this tracer-off re-measure matched (or beat) the
+            # trace_simulation section's wall; the gate floors the raw ratio.
+            "off_vs_baseline_ratio": round(baseline_wall_s / off_wall, 3),
+        },
+        "events": tracer.num_events,
+        "counter_samples": len(tracer.counters),
+        "bit_identical": bit_identical,
+        "breakdowns_exact": breakdowns_exact,
+        "trace_artifact": os.path.basename(artifact),
+    }
+
+
 def bench_tensor_parallel() -> dict:
     """Llama2-70B FP16: OOM on one GPU, finite peak throughput on four.
 
@@ -895,6 +992,11 @@ def main() -> None:
         "scale": bench_scale(),
         "sweep": bench_sweep(sweep_requests, fast_mode=args.fast),
         "sweep_grid": bench_sweep_grid(grid_requests),
+        "tracing": bench_tracing(
+            trace_requests,
+            baseline_wall_s=trace_section["harness"]["wall_time_s"],
+            fast_mode=args.fast,
+        ),
         "tensor_parallel_llama2_70b": bench_tensor_parallel(),
     }
     validate_payload(payload)
@@ -918,6 +1020,8 @@ def main() -> None:
             ("cluster_ab", "disagg_p99_ttft_improves"),
             ("prefix_cache", "p99_ttft_improves_ge_1_5x"),
             ("sweep", "parallel_matches_serial"),
+            ("tracing", "bit_identical"),
+            ("tracing", "breakdowns_exact"),
         )
         if not payload[section][flag]
     ]

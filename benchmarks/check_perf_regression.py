@@ -18,6 +18,13 @@ fast-forward machinery:
   (``cells_per_s``), guarding the once-per-configuration backend/engine resolution: a
   backend rebuild accidentally moved into the per-cell path would crater this.
 
+A fifth check, ``tracing_off_overhead``, gates the telemetry layer's null path: the
+``tracing`` section re-measures the ``trace_simulation`` workload tracer-off, and its
+``off_vs_baseline_ratio`` (baseline wall / tracer-off wall, both from the same run on the
+same runner, so runner speed cancels out) must stay above
+``tracing_off_overhead_min_ratio`` — a default-constructed tracer or a hook doing work
+before its ``is None`` guard would drag the ratio down.
+
 The fraction is deliberately generous (default 0.5x): CI runners are slower and noisier
 than the machines that set the baselines, and this gate exists to catch *algorithmic*
 regressions — a fast path silently disabled, an accidental O(n^2) in the hot loop — not
@@ -74,6 +81,17 @@ def main() -> int:
                 "path regressed, or this runner is pathologically slow. If the change "
                 "is intentional, update benchmarks/perf_baseline.json in the same PR."
             )
+    ratio = float(payload["tracing"]["harness"]["off_vs_baseline_ratio"])
+    min_ratio = float(baseline["tracing_off_overhead_min_ratio"])
+    print(f"{'tracing_off':<17}: {ratio:>10.3f} x    "
+          f"(tracer-off vs baseline wall, floor {min_ratio:g}x)")
+    if ratio < min_ratio:
+        failed = True
+        print(
+            f"FAIL: tracer-off re-measure ran at {ratio:.3f}x the trace_simulation "
+            f"baseline (floor {min_ratio:g}x) — the null-tracer hooks are no longer "
+            "free. Both walls come from the same run, so this is not runner noise."
+        )
     if failed:
         return 1
     print("OK: within the regression budget")

@@ -22,6 +22,7 @@ subpackage             contents
 ``repro.sweep``        process-parallel multi-configuration sweep engine over the simulator
 ``repro.accuracy``     quantization-accuracy study on synthetic weights
 ``repro.reporting``    text table/series formatting and payload schema validation
+``repro.telemetry``    structured event tracing, counter sampling, Perfetto/summary export
 =====================  ========================================================================
 """
 
@@ -31,6 +32,7 @@ from .costmodel import GemmShape
 from .gpu import A100, H100, H800, Device, GpuSpec, Precision, get_gpu
 from .kernels import available_kernels, default_comparison_set, get_kernel
 from .serving import ServingEngine, get_model, get_system, list_models, list_systems
+from .telemetry import Tracer
 
 __version__ = "0.1.0"
 
@@ -58,5 +60,6 @@ __all__ = [
     "get_system",
     "list_models",
     "list_systems",
+    "Tracer",
     "__version__",
 ]

@@ -140,6 +140,7 @@ def simulate_serving(
     fast_forward: bool = True,
     prefix_caching: bool = False,
     shared_prefix_tokens: int = 0,
+    tracer=None,
 ) -> ServingSimulation:
     """Run a trace-driven request-level serving simulation end to end.
 
@@ -162,8 +163,14 @@ def simulate_serving(
     trace request with that many leading shareable tokens (a common system prompt), which
     is the simplest workload that exercises it — the generators in
     :mod:`repro.workloads.traces` build richer shared-prefix traces.
+
+    ``tracer`` (a :class:`repro.telemetry.Tracer`) records the full structured event
+    stream — request lifecycle, per-epoch compute spans, KV/cache activity, periodic
+    counter samples — for timeline export; ``None`` (the default) is zero-overhead.
     """
-    engine = ServingEngine(system, model, device=device, tp_degree=tp_degree)
+    engine = ServingEngine(system, model, device=device, tp_degree=tp_degree, tracer=tracer)
+    if tracer is not None:
+        tracer.set_replica_role(0, "single")
     scheduler = ContinuousBatchingScheduler(
         engine,
         max_batch_size=max_batch_size,
@@ -176,6 +183,7 @@ def simulate_serving(
         overlap_swap_transfers=overlap_swap_transfers,
         fast_forward=fast_forward,
         prefix_caching=prefix_caching,
+        tracer=tracer,
     )
     trace = generate_trace(
         num_requests,
@@ -262,6 +270,7 @@ def simulate_cluster(
     fast_forward: bool = True,
     prefix_caching: bool = False,
     shared_prefix_tokens: int = 0,
+    tracer=None,
 ) -> ClusterSimulation:
     """Run a trace-driven simulation of a multi-replica serving cluster end to end.
 
@@ -278,6 +287,8 @@ def simulate_cluster(
     ``prefix_caching`` gives every replica its own radix-tree prefix cache (pair with
     ``router="cache-affinity"`` so shared-prefix requests land where their prefix lives);
     ``shared_prefix_tokens`` stamps the generated trace as in :func:`simulate_serving`.
+    ``tracer`` records one event track per replica plus routing decisions and KV
+    migrations (see :mod:`repro.telemetry`); ``None`` is zero-overhead.
     """
     spec = ClusterSpec(
         mode=mode,
@@ -302,6 +313,7 @@ def simulate_cluster(
         overlap_swap_transfers=overlap_swap_transfers,
         fast_forward=fast_forward,
         prefix_caching=prefix_caching,
+        tracer=tracer,
     )
     trace = generate_trace(
         num_requests,

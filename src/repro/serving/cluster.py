@@ -168,6 +168,7 @@ class ServingCluster:
         fast_forward: bool = True,
         prefix_caching: bool = False,
         engine: Optional[ServingEngine] = None,
+        tracer=None,
     ):
         self.spec = spec or ClusterSpec()
         self.router_name = self.spec.router or self.spec.default_router
@@ -179,6 +180,9 @@ class ServingCluster:
         # workers inject an already-warm engine and carry the memo across grid cells.
         if engine is None:
             engine = ServingEngine(system, model, device=device, tp_degree=tp_degree)
+        # One tracer serves the whole fleet: every replica's scheduler stamps its events
+        # with its replica id, and the cluster itself adds routing + migration events.
+        self._tracer = tracer
         for replica_id, role in enumerate(self.spec.roles()):
             scheduler = ContinuousBatchingScheduler(
                 engine,
@@ -192,8 +196,12 @@ class ServingCluster:
                 overlap_swap_transfers=overlap_swap_transfers,
                 fast_forward=fast_forward,
                 prefix_caching=prefix_caching,
+                tracer=tracer,
+                trace_replica=replica_id,
             )
             self.replicas.append(Replica(replica_id, role, engine, scheduler))
+            if tracer is not None:
+                tracer.set_replica_role(replica_id, role)
         self.prefill_replicas = [
             r for r in self.replicas if r.role == REPLICA_ROLE_PREFILL
         ]
@@ -212,9 +220,21 @@ class ServingCluster:
             clone = copy.copy(orig)
             clone.output_tokens = 1
             target = router.select(self.prefill_replicas, orig)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "route", now, replica=target.replica_id,
+                    request_id=orig.request_id, role=target.role,
+                    policy=self.router_name,
+                )
             target.scheduler.submit(clone, now=now)
         else:
             target = router.select(self.replicas, orig)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "route", now, replica=target.replica_id,
+                    request_id=orig.request_id, role=target.role,
+                    policy=self.router_name,
+                )
             target.scheduler.submit(orig, now=now)
         return target
 
@@ -244,7 +264,17 @@ class ServingCluster:
         migrated.prefilled = 0
         migrated.prefill_target = 0
         migrated.imported_kv_tokens = orig.prompt_tokens
-        state.push_event(replica.clock + transfer_s, _EVENT_MIGRATE, migrated)
+        # Computed once and reused for both the delivery event and the telemetry span,
+        # so the migration's end timestamp and the decode side's enqueue timestamp are
+        # the same float — the per-request phase intervals tile exactly.
+        handoff_end = replica.clock + transfer_s
+        state.push_event(handoff_end, _EVENT_MIGRATE, migrated)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "migrate", replica.clock, replica=replica.replica_id,
+                request_id=orig.request_id, end=handoff_end,
+                bytes=handoff_bytes, transfer_s=transfer_s,
+            )
 
     def _on_complete(self, state: _RunState, replica: Replica, done: Request) -> None:
         if not self.disaggregated:
@@ -337,6 +367,12 @@ class ServingCluster:
                     target = self._route_arrival(router, request, time_s)
                 else:
                     target = router.select_decode(self.decode_replicas, request)
+                    if self._tracer is not None:
+                        self._tracer.emit(
+                            "route", time_s, replica=target.replica_id,
+                            request_id=request.request_id, role=target.role,
+                            policy=self.router_name,
+                        )
                     target.scheduler.submit_resumed(request, now=time_s)
                 push_ready(target)  # an idle target wakes at the event time
                 continue

@@ -116,6 +116,33 @@ class PagedKvCache:
         self._ref_counts: Dict[int, int] = {}
         self._free_host_blocks: List[int] = list(range(config.total_host_blocks))
         self._swapped: Dict[int, SequenceState] = {}
+        # Optional telemetry (bind_tracer): emits a "kv_oom" event whenever the pool
+        # rejects an allocation.  None by default — the allocator has no clock of its
+        # own, so the owning scheduler supplies one alongside the tracer.
+        self._tracer = None
+        self._trace_replica = 0
+        self._trace_clock = None
+
+    def bind_tracer(self, tracer, replica: int = 0, clock_fn=None) -> None:
+        """Attach a :class:`~repro.telemetry.Tracer` (``kv_oom`` pressure events).
+
+        ``clock_fn`` is a zero-argument callable returning the current simulated time
+        (the scheduler's live clock); without one, events are stamped at 0.
+        """
+        self._tracer = tracer
+        self._trace_replica = replica
+        self._trace_clock = clock_fn
+
+    def _raise_oom(self, message: str, needed_blocks: int) -> None:
+        """Emit a ``kv_oom`` telemetry event (when traced) and raise."""
+        if self._tracer is not None:
+            self._tracer.emit(
+                "kv_oom",
+                self._trace_clock() if self._trace_clock is not None else 0.0,
+                replica=self._trace_replica,
+                needed_blocks=needed_blocks, free_blocks=self.num_free_blocks,
+            )
+        raise KvCacheOutOfMemory(message)
 
     # ------------------------------------------------------------------ queries
     @property
@@ -234,8 +261,9 @@ class PagedKvCache:
             raise ValueError("prompt_tokens must be non-negative")
         needed = self.config.blocks_for_tokens(prompt_tokens) if prompt_tokens else 0
         if needed > self.num_free_blocks:
-            raise KvCacheOutOfMemory(
-                f"sequence {seq_id} needs {needed} blocks, only {self.num_free_blocks} free"
+            self._raise_oom(
+                f"sequence {seq_id} needs {needed} blocks, only {self.num_free_blocks} free",
+                needed,
             )
         state = SequenceState(seq_id=seq_id, num_tokens=prompt_tokens,
                               blocks=[self._alloc_block() for _ in range(needed)])
@@ -288,9 +316,10 @@ class PagedKvCache:
         )
         free = self._free_blocks
         if needed + (1 if copy_tail else 0) > len(free):
-            raise KvCacheOutOfMemory(
+            self._raise_oom(
                 f"sequence {seq_id} needs {needed + (1 if copy_tail else 0)} blocks to grow "
-                f"by {num_tokens} tokens, only {len(free)} free"
+                f"by {num_tokens} tokens, only {len(free)} free",
+                needed + (1 if copy_tail else 0),
             )
         if copy_tail:
             # The partially filled tail is shared with a fork: copy before writing into it.
@@ -332,9 +361,10 @@ class PagedKvCache:
             )
             if needed > 0:
                 if needed > len(free):
-                    raise KvCacheOutOfMemory(
+                    self._raise_oom(
                         f"sequence {state.seq_id} needs {needed} blocks to grow by "
-                        f"{num_tokens} tokens, only {len(free)} free"
+                        f"{num_tokens} tokens, only {len(free)} free",
+                        needed,
                     )
                 fresh = free[-needed:]
                 del free[-needed:]
@@ -443,9 +473,10 @@ class PagedKvCache:
         if any(self._ref_counts[b] > 1 for b in state.blocks):
             raise ValueError(f"sequence {seq_id} shares blocks with a fork; cannot swap out")
         if state.num_blocks > self.num_free_host_blocks:
-            raise KvCacheOutOfMemory(
+            self._raise_oom(
                 f"sequence {seq_id} needs {state.num_blocks} host blocks, "
-                f"only {self.num_free_host_blocks} free"
+                f"only {self.num_free_host_blocks} free",
+                state.num_blocks,
             )
         host_blocks = [self._free_host_blocks.pop() for _ in state.blocks]
         for block in state.blocks:
@@ -466,9 +497,10 @@ class PagedKvCache:
         if state is None:
             raise KeyError(f"sequence {seq_id} is not swapped out")
         if state.num_blocks > self.num_free_blocks:
-            raise KvCacheOutOfMemory(
+            self._raise_oom(
                 f"sequence {seq_id} needs {state.num_blocks} device blocks to swap in, "
-                f"only {self.num_free_blocks} free"
+                f"only {self.num_free_blocks} free",
+                state.num_blocks,
             )
         device_blocks = [self._alloc_block() for _ in state.blocks]
         self._free_host_blocks.extend(state.blocks)

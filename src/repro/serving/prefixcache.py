@@ -132,6 +132,20 @@ class PrefixCache:
         self.saved_tokens = 0
         self.inserted_blocks = 0
         self.evicted_blocks = 0
+        # Optional telemetry (bind_tracer): "cache_insert" / "cache_evict" events.  The
+        # cache has no clock of its own; the owning scheduler supplies one.
+        self._tracer = None
+        self._trace_replica = 0
+        self._trace_clock = None
+
+    def bind_tracer(self, tracer, replica: int = 0, clock_fn=None) -> None:
+        """Attach a :class:`~repro.telemetry.Tracer` for structural-change events."""
+        self._tracer = tracer
+        self._trace_replica = replica
+        self._trace_clock = clock_fn
+
+    def _trace_ts(self) -> float:
+        return self._trace_clock() if self._trace_clock is not None else 0.0
 
     # ------------------------------------------------------------------ queries
     @property
@@ -261,6 +275,11 @@ class PrefixCache:
         if added:
             self.inserted_blocks += added
             self._bump_version()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "cache_insert", self._trace_ts(), replica=self._trace_replica,
+                    request_id=request.request_id, blocks=added,
+                )
         return added
 
     def evict(self, num_blocks: int) -> int:
@@ -306,6 +325,11 @@ class PrefixCache:
         if evicted:
             self.evicted_blocks += evicted
             self._bump_version()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "cache_evict", self._trace_ts(), replica=self._trace_replica,
+                    blocks=evicted, freed=freed,
+                )
         return freed
 
     def can_free(self, num_blocks: int) -> bool:

@@ -45,6 +45,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from .engine import PrefillChunk, ServingEngine, peak_resident_tokens
 from .kvcache import KvCacheOutOfMemory, PagedKvCache, SequenceState
 from .metrics import SloReport, SloSpec, compute_slo_report
@@ -55,6 +57,9 @@ from .policies import (
     get_preemption_policy,
     get_scheduling_policy,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import, keeps serving decoupled
+    from ..telemetry.tracer import Tracer
 
 __all__ = ["Request", "SchedulerStats", "ContinuousBatchingScheduler"]
 
@@ -161,6 +166,22 @@ class SchedulerStats:
     # Swap-based preemption accounting:
     swap_preemptions: int = 0
     recompute_preemptions: int = 0
+    # Preemption *reason* accounting: every live preemption is either KV pressure
+    # (a decode-slot allocation failed mid-iteration) or a policy victim (the stall
+    # path evicted the lowest-priority resident so others could progress), so
+    # ``preemptions == preemptions_kv_pressure + preemptions_policy_victim``.
+    # Pressure events absorbed by evicting idle prefix-cache blocks preempt nobody
+    # and are counted separately.  That avert counter is a *code-path diagnostic*, not
+    # a trajectory invariant: stepwise and fast-forward runs reach bit-identical KV /
+    # cache / request state, but may group the very same evicted blocks into a
+    # different number of pressure events (one big admission-loop evict vs an averted
+    # preemption plus a small one), so it is excluded from the fast-forward
+    # equivalence contract via field metadata.
+    preemptions_kv_pressure: int = 0
+    preemptions_policy_victim: int = 0
+    preemptions_averted_by_cache: int = field(
+        default=0, metadata={"fast_forward_invariant": False}
+    )
     swap_ins: int = 0
     kv_transfer_s: float = 0.0
     peak_host_kv_utilization: float = 0.0
@@ -223,6 +244,8 @@ class ContinuousBatchingScheduler:
         overlap_swap_transfers: bool = False,
         fast_forward: bool = True,
         prefix_caching: bool = False,
+        tracer: Optional["Tracer"] = None,
+        trace_replica: int = 0,
     ):
         self.engine = engine
         if not engine.supported:
@@ -266,6 +289,13 @@ class ContinuousBatchingScheduler:
         #: :meth:`step`.  Bit-identical either way — the flag exists for equivalence tests
         #: and for callers that want to drive every iteration explicitly.
         self.fast_forward_enabled = fast_forward
+        #: Optional telemetry sink.  ``None`` is the null tracer: every hook below is a
+        #: single ``is not None`` guard, so tracing off adds no work to the hot paths
+        #: and a traced run is bit-identical to an untraced one (purely observational).
+        self._tracer = tracer
+        self._trace_replica = trace_replica
+        if tracer is not None:
+            tracer.attach_engine(engine)
         self.begin()
 
     # ------------------------------------------------------------------ internals
@@ -346,6 +376,12 @@ class ContinuousBatchingScheduler:
         self.prefix_cache: Optional[PrefixCache] = (
             PrefixCache(self.kv_cache) if self.prefix_caching else None
         )
+        tracer = getattr(self, "_tracer", None)
+        if tracer is not None:
+            clock_fn = lambda: self._clock  # noqa: E731 - bound late, reads live clock
+            self.kv_cache.bind_tracer(tracer, self._trace_replica, clock_fn)
+            if self.prefix_cache is not None:
+                self.prefix_cache.bind_tracer(tracer, self._trace_replica, clock_fn)
         self._waiting: List[Tuple[Tuple, int, Request]] = []
         self._imported: List[Tuple[Tuple, int, Request]] = []
         self._push_counter = 0
@@ -362,12 +398,16 @@ class ContinuousBatchingScheduler:
         self._peak_util = 0.0
         self._peak_host_util = 0.0
         self._preemption_count = 0
+        self._kv_pressure_count = 0
+        self._policy_victim_count = 0
+        self._cache_averted_count = 0
         self._swap_count = 0
         self._recompute_count = 0
         self._swap_in_count = 0
         self._transfer_s_total = 0.0
         self._num_iterations = 0
         self._chunk_count = 0
+        self._next_sample_s = clock
 
     @property
     def clock(self) -> float:
@@ -429,6 +469,13 @@ class ContinuousBatchingScheduler:
             self._clock = max(self._clock, now)
         self._outstanding_tokens += request.remaining_tokens()
         self._push_waiting(request)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "arrive", request.arrival_time_s, replica=self._trace_replica,
+                request_id=request.request_id,
+                prompt_tokens=request.prompt_tokens,
+                output_tokens=request.output_tokens,
+            )
 
     def submit_resumed(self, request: Request, now: Optional[float] = None) -> None:
         """Enqueue a sequence migrated from another replica, preserving its timestamps.
@@ -442,6 +489,15 @@ class ContinuousBatchingScheduler:
         if now is not None:
             self._clock = max(self._clock, now)
         self._outstanding_tokens += request.remaining_tokens()
+        if self._tracer is not None:
+            # Timestamped at the handoff instant (the migration's end), not the local
+            # clock: a busy replica's clock may already be past it, but the request's
+            # queue phase starts the moment its KV landed.
+            self._tracer.emit(
+                "enqueue", now if now is not None else self._clock,
+                replica=self._trace_replica, request_id=request.request_id,
+                imported_kv_tokens=request.imported_kv_tokens,
+            )
         if request.imported_kv_tokens > 0:
             heapq.heappush(
                 self._imported,
@@ -483,6 +539,9 @@ class ContinuousBatchingScheduler:
             prefill_chunks=self._chunk_count,
             swap_preemptions=self._swap_count,
             recompute_preemptions=self._recompute_count,
+            preemptions_kv_pressure=self._kv_pressure_count,
+            preemptions_policy_victim=self._policy_victim_count,
+            preemptions_averted_by_cache=self._cache_averted_count,
             swap_ins=self._swap_in_count,
             kv_transfer_s=self._transfer_s_total,
             peak_host_kv_utilization=self._peak_host_util,
@@ -531,6 +590,7 @@ class ContinuousBatchingScheduler:
 
     def _do_swap_in(self, request: Request) -> None:
         """Restore a swapped sequence to the device pool, charging the transfer."""
+        start = self._clock
         transfer = self.engine.kv_transfer_time(self.kv_cache.swap_in(request.request_id))
         self._charge_transfer(transfer)
         self._swap_in_count += 1
@@ -539,14 +599,29 @@ class ContinuousBatchingScheduler:
             self._running.append(request)
         else:
             self._prefilling.append(request)
+        if self._tracer is not None:
+            # end == self._clock is the actual post-charge clock: zero-width in
+            # overlap mode (the DMA hides behind compute), start + transfer otherwise.
+            self._tracer.emit(
+                "swap_in", start, replica=self._trace_replica,
+                request_id=request.request_id, end=self._clock,
+                to="decode" if request.decoding else "prefill", transfer_s=transfer,
+            )
 
-    def _preempt_one(self, exclude: Optional[Request] = None, need_blocks: int = 1) -> bool:
+    def _preempt_one(self, exclude: Optional[Request] = None, need_blocks: int = 1,
+                     reason: str = "policy_victim") -> bool:
         # Cached-but-idle prefix blocks are reclaimed before any live sequence is
         # preempted: they cost queue-side re-prefill on a future miss, not live work.
         if (
             self.prefix_cache is not None
             and self.prefix_cache.evict(need_blocks) >= need_blocks
         ):
+            self._cache_averted_count += 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "preempt_averted", self._clock, replica=self._trace_replica,
+                    need_blocks=need_blocks, reason=reason,
+                )
             return True
         victim = self._pick_victim(exclude)
         if victim is None:
@@ -557,6 +632,10 @@ class ContinuousBatchingScheduler:
             self._running.remove(victim)
         victim.preemptions += 1
         self._preemption_count += 1
+        if reason == "kv_pressure":
+            self._kv_pressure_count += 1
+        else:
+            self._policy_victim_count += 1
         # Drop any decode slot reserved this iteration (its KV is never written)
         # *before* the policy decides, so swap feasibility and the cost comparison see
         # the exact state a swap would transfer.
@@ -571,6 +650,7 @@ class ContinuousBatchingScheduler:
             mode = PreemptionPolicy.RECOMPUTE
         if mode == PreemptionPolicy.SWAP:
             # Park the blocks in the host pool and charge the PCIe transfer.
+            start = self._clock
             transfer = self.engine.kv_transfer_time(
                 self.kv_cache.swap_out(victim.request_id)
             )
@@ -580,6 +660,15 @@ class ContinuousBatchingScheduler:
             self._peak_host_util = max(
                 self._peak_host_util, self.kv_cache.host_utilization()
             )
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "preempt", start, replica=self._trace_replica,
+                    request_id=victim.request_id, mode="swap", reason=reason,
+                )
+                self._tracer.emit(
+                    "swap_out", start, replica=self._trace_replica,
+                    request_id=victim.request_id, end=self._clock, transfer_s=transfer,
+                )
         else:
             # Recompute: free the blocks and re-prefill the prompt plus every already-
             # emitted token except the newest (whose KV was never written); emitted
@@ -592,6 +681,11 @@ class ContinuousBatchingScheduler:
             victim.cached_prefix_tokens = 0  # re-admission re-matches the (live) trie
             self._outstanding_tokens += victim.remaining_tokens() - before
             self._push_waiting(victim)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "preempt", self._clock, replica=self._trace_replica,
+                    request_id=victim.request_id, mode="recompute", reason=reason,
+                )
         return True
 
     def _finish(self, request: Request) -> None:
@@ -599,6 +693,11 @@ class ContinuousBatchingScheduler:
         self.kv_cache.free_sequence(request.request_id)
         self._completed.append(request)
         self._newly_completed.append(request)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "finish", self._clock, replica=self._trace_replica,
+                request_id=request.request_id, generated=request.generated,
+            )
 
     def step(self) -> None:
         """Execute one scheduler iteration, advancing the local clock.
@@ -625,6 +724,12 @@ class ContinuousBatchingScheduler:
             request.prefilled = request.prefill_target = request.imported_kv_tokens
             self._outstanding_tokens += request.remaining_tokens() - before
             self._running.append(request)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "admit", self._clock, replica=self._trace_replica,
+                    request_id=request.request_id, to="decode",
+                    imported_kv_tokens=request.imported_kv_tokens,
+                )
 
         # ---- swap sequences back in while the device pool has headroom: one spare
         # block per running sequence for this iteration's decode slot plus every
@@ -684,7 +789,8 @@ class ContinuousBatchingScheduler:
                         reserved_context[request.request_id] = context
                         break
                     except KvCacheOutOfMemory:
-                        if not self._preempt_one(exclude=request):  # pragma: no cover - guarded
+                        if not self._preempt_one(exclude=request,
+                                                 reason="kv_pressure"):  # pragma: no cover - guarded
                             raise RuntimeError(
                                 "KV pool too small for a single request despite admission guard"
                             )
@@ -741,6 +847,14 @@ class ContinuousBatchingScheduler:
                     request.prefill_target = request.prompt_tokens
                 if request.first_scheduled_time_s is None:
                     request.first_scheduled_time_s = self._clock
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "admit", self._clock, replica=self._trace_replica,
+                        request_id=request.request_id, to="prefill",
+                        cached_tokens=(
+                            len(cached_blocks) * self.kv_cache.config.block_tokens
+                        ),
+                    )
                 if cached_blocks:
                     cached = len(cached_blocks) * self.kv_cache.config.block_tokens
                     self.kv_cache.fork_from_blocks(request.request_id, cached_blocks)
@@ -749,6 +863,12 @@ class ContinuousBatchingScheduler:
                     request.cached_prefix_tokens = cached
                     request.prefilled = cached
                     self._outstanding_tokens += request.remaining_tokens() - before
+                    if self._tracer is not None:
+                        self._tracer.emit(
+                            "cache_hit", self._clock, replica=self._trace_replica,
+                            request_id=request.request_id, tokens=cached,
+                            blocks=len(cached_blocks),
+                        )
                 else:
                     if self.prefix_cache is not None:
                         self.prefix_cache.record_miss()
@@ -769,7 +889,7 @@ class ContinuousBatchingScheduler:
             # Every resident prefill is blocked on KV with nothing decoding: evict the
             # lowest-priority resident so the others can make progress.
             if self._prefilling or self._running:
-                if self._preempt_one():
+                if self._preempt_one(reason="policy_victim"):
                     return
             if self._swapped:
                 # Nothing is resident, so every device block is free or cached-but-idle
@@ -797,10 +917,21 @@ class ContinuousBatchingScheduler:
         compute = self.engine.mixed_step_time(contexts, [c for _, c in chunks])
         # Overlap mode hides swap DMAs behind compute: the iteration takes whichever is
         # longer, never their sum (the serialized model).
+        iteration_start = self._clock
         self._clock += max(compute, self._pending_transfer_s)
         self._pending_transfer_s = 0.0
         self._num_iterations += 1
         self._chunk_count += len(chunks)
+        if self._tracer is not None and self._tracer.span_events:
+            self._tracer.emit(
+                "iteration", iteration_start, replica=self._trace_replica,
+                end=self._clock, decode_batch=decode_batch, chunks=len(chunks),
+            )
+            for request, chunk in chunks:
+                self._tracer.emit(
+                    "chunk_prefill", self._clock, replica=self._trace_replica,
+                    request_id=request.request_id, tokens=chunk.tokens,
+                )
 
         # ---- decode bookkeeping: every running sequence emitted one token.
         still_running: List[Request] = []
@@ -821,6 +952,11 @@ class ContinuousBatchingScheduler:
             if request.prefilled < request.prefill_target:
                 continue
             self._prefilling.remove(request)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "decode_start", self._clock, replica=self._trace_replica,
+                    request_id=request.request_id, first_token=chunk.produces_token,
+                )
             if self.prefix_cache is not None and request.prefix_segments:
                 # Publish the completed prefill's shareable prefix (full blocks only).
                 # This runs before any completion-time free, so even a request that
@@ -840,6 +976,32 @@ class ContinuousBatchingScheduler:
                 self._running.append(request)
 
         self._peak_batch = max(self._peak_batch, decode_batch + len(chunks))
+        if self._tracer is not None:
+            self._maybe_sample_counters()
+
+    def _maybe_sample_counters(self) -> None:
+        """Record one periodic gauge sample when the clock crossed the next boundary.
+
+        Called (behind the null-tracer guard) at iteration and fast-forward-epoch ends,
+        so samples land at the first boundary at or after each ``sample_interval_s``
+        multiple — never mid-iteration, and never on the tracer-off hot path.
+        """
+        tracer = self._tracer
+        if self._clock < self._next_sample_s:
+            return
+        cache = self.prefix_cache
+        lookups = (cache.hits + cache.misses) if cache is not None else 0
+        tracer.sample(self._trace_replica, self._clock, {
+            "queue_depth": float(self.queue_depth),
+            "running": float(len(self._running)),
+            "prefilling": float(len(self._prefilling)),
+            "swapped": float(len(self._swapped)),
+            "kv_utilization": self.kv_cache.utilization(),
+            "host_kv_utilization": self.kv_cache.host_utilization(),
+            "prefix_hit_rate": (cache.hits / lookups) if lookups else 0.0,
+            "outstanding_tokens": float(self._outstanding_tokens),
+        })
+        self._next_sample_s = self._clock + tracer.sample_interval_s
 
     # ------------------------------------------------------------------ fast-forward
     @property
@@ -1076,11 +1238,22 @@ class ContinuousBatchingScheduler:
             self._peak_util = max(self._peak_util, kv.utilization())
             self._peak_host_util = max(self._peak_host_util, kv.host_utilization())
             self._peak_batch = max(self._peak_batch, batch)
+            segment_start = self._clock
             self._clock = new_clock
             self._num_iterations += k
             self._generated_tokens += k * batch
             self._outstanding_tokens -= k * batch
             advanced += k
+            if self._tracer is not None:
+                # The fast-forwarded jump is recorded as one synthesized epoch span
+                # with its closed-form duration — the timeline shows the same wall
+                # clock a stepwise run would, at segment granularity.
+                if self._tracer.span_events:
+                    self._tracer.emit(
+                        "ff_decode", segment_start, replica=self._trace_replica,
+                        end=new_clock, iterations=k, batch=batch,
+                    )
+                self._maybe_sample_counters()
             if completes:
                 still_running: List[Request] = []
                 for request in running:
@@ -1273,6 +1446,7 @@ class ContinuousBatchingScheduler:
         self._peak_util = max(self._peak_util, kv.utilization())
         self._peak_host_util = max(self._peak_host_util, kv.host_utilization())
         self._peak_batch = max(self._peak_batch, batch + len(takes))
+        epoch_start = self._clock
         self._clock = new_clock
         self._num_iterations += k
         self._chunk_count += k * len(takes)
@@ -1283,6 +1457,14 @@ class ContinuousBatchingScheduler:
         for request, take in takes:
             request.prefilled += k * take
             self._outstanding_tokens -= k * take
+        if self._tracer is not None:
+            if self._tracer.span_events:
+                self._tracer.emit(
+                    "ff_mixed", epoch_start, replica=self._trace_replica,
+                    end=new_clock, iterations=k, decode_batch=batch,
+                    chunks=len(takes),
+                )
+            self._maybe_sample_counters()
         return k
 
     # ------------------------------------------------------------------ simulation

@@ -53,6 +53,7 @@ from .serving.metrics import SloSpec
 from .serving.models import list_models
 from .serving.scheduler import ContinuousBatchingScheduler
 from .serving.systems import ClusterSpec, SystemProfile, get_system, list_systems
+from .telemetry import Tracer, request_breakdowns, write_chrome_trace, write_summary
 from .workloads.traces import (
     SHAREGPT_OUTPUTS,
     SHAREGPT_PROMPTS,
@@ -197,6 +198,14 @@ class SweepGrid:
     shared_prefix_tokens: int = 0
     slo_ttft_s: float = 2.0
     slo_tpot_s: float = 0.1
+    #: Telemetry opt-in: cell indices to run with a :class:`repro.telemetry.Tracer`
+    #: attached.  Traced cells write a Chrome/Perfetto timeline and a schema-validated
+    #: summary into ``trace_dir`` (default: the working directory) and report the file
+    #: paths in their result row under ``trace_files``.  Tracing is observational —
+    #: traced cells' simulated numbers are bit-identical to untraced runs — and cells
+    #: not listed pay nothing.
+    trace_cells: Sequence[int] = ()
+    trace_dir: Optional[str] = None
 
     def describe(self) -> Dict[str, Any]:
         """JSON-safe description of the grid (embedded in the consolidated payload)."""
@@ -221,6 +230,7 @@ class SweepGrid:
             "prefix_caching": self.prefix_caching,
             "shared_prefix_tokens": self.shared_prefix_tokens,
             "slo": {"ttft_s": self.slo_ttft_s, "tpot_s": self.slo_tpot_s},
+            "trace_cells": sorted(self.trace_cells),
         }
 
     def cells(self) -> List[Dict[str, Any]]:
@@ -273,6 +283,8 @@ class SweepGrid:
                     "shared_prefix_tokens": self.shared_prefix_tokens,
                     "slo_ttft_s": self.slo_ttft_s,
                     "slo_tpot_s": self.slo_tpot_s,
+                    "trace": index in set(self.trace_cells),
+                    "trace_dir": self.trace_dir,
                 }
             )
         return cells
@@ -331,18 +343,25 @@ def _run_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
     )
     slo = SloSpec(ttft_s=cell["slo_ttft_s"], tpot_s=cell["slo_tpot_s"])
     shape = cell["cluster"]
+    tracer = (
+        Tracer(label=f"cell{cell['index']:03d}") if cell.get("trace") else None
+    )
     scheduler_kwargs = dict(
         scheduling_policy=cell["scheduling_policy"],
         preemption_policy=cell["preemption_policy"],
         kv_budget_bytes=cell["kv_budget_bytes"],
         host_kv_budget_bytes=cell["host_kv_budget_bytes"],
         prefix_caching=cell["prefix_caching"],
+        tracer=tracer,
     )
     if shape.get("mode", "single") == "single":
+        if tracer is not None:
+            tracer.set_replica_role(0, "single")
         scheduler = ContinuousBatchingScheduler(engine, **scheduler_kwargs)
         stats = scheduler.run(trace)
         report = stats.slo_report(slo)
         iterations = stats.num_iterations
+        all_stats = [stats]
         metrics_source = dict(
             completed_requests=stats.completed_requests,
             generated_tokens=stats.generated_tokens,
@@ -370,6 +389,7 @@ def _run_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
         result = cluster.run(trace)
         report = result.slo_report(slo)
         iterations = sum(s.num_iterations for s in result.replica_stats)
+        all_stats = list(result.replica_stats)
         metrics_source = dict(
             completed_requests=result.completed_requests,
             generated_tokens=result.generated_tokens,
@@ -378,7 +398,19 @@ def _run_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
             preemptions=sum(s.preemptions for s in result.replica_stats),
         )
     wall_s = time.perf_counter() - start
-    return {
+    trace_files: Optional[Dict[str, str]] = None
+    if tracer is not None:
+        out_dir = os.path.abspath(cell.get("trace_dir") or os.getcwd())
+        os.makedirs(out_dir, exist_ok=True)
+        stem = os.path.join(out_dir, f"cell{cell['index']:03d}")
+        breakdowns = request_breakdowns(tracer)
+        write_chrome_trace(tracer, stem + ".trace.json", breakdowns)
+        write_summary(tracer, stem + ".summary.json", all_stats, breakdowns)
+        trace_files = {
+            "chrome_trace": stem + ".trace.json",
+            "summary": stem + ".summary.json",
+        }
+    row = {
         "index": cell["index"],
         "system": cell["system"],
         "model": cell["model"],
@@ -405,6 +437,11 @@ def _run_cell(cell: Dict[str, Any]) -> Dict[str, Any]:
             "goodput_rps": round(report.goodput_rps, 3),
         },
     }
+    if trace_files is not None:
+        # Extra key on traced rows only: the schema permits it, and untraced grids
+        # (every pre-existing payload) are byte-identical to before.
+        row["trace_files"] = trace_files
+    return row
 
 
 def _cell_gpus(cluster: Dict[str, Any], tp_degree: int) -> int:

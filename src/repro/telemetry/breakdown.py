@@ -1,0 +1,187 @@
+"""Per-request critical-path breakdown from a traced lifecycle event stream.
+
+Every completed request's wall-clock from arrival to completion is partitioned into
+five phases:
+
+* ``queue`` — waiting for admission (including re-queueing after a migration);
+* ``prefill`` — admitted and prefilling (chunked prefill iterations);
+* ``decode`` — producing output tokens;
+* ``preempted`` — evicted from the device and parked (recompute backlog or host swap);
+* ``transfer`` — KV bytes in flight: swap-out / swap-in charges and cluster migrations
+  (zero-width when ``overlap_swap_transfers`` hides the transfer behind compute, in
+  which case the hidden wait is accounted as ``preempted``).
+
+The partition is **exact**, not approximate: intervals are built from consecutive
+event timestamps, so adjacent intervals share their endpoint float, and durations are
+summed as :class:`fractions.Fraction` (every float is an exact rational), so the sum
+telescopes to ``Fraction(completion) - Fraction(arrival)`` with zero rounding error.
+Converting that exact sum back to a float is a single correct rounding — i.e. it equals
+``RequestMetrics.latency_s`` (``completion - arrival`` in float arithmetic) exactly.
+This is the internal consistency check the aggregate metrics cannot express, and it is
+hypothesis-pinned across preemption policies, KV pressure, prefix caching, and
+colocated/disaggregated clusters.
+
+The walker consumes events in **append order** (the tracer's streams are causal per
+request), never re-sorting by timestamp: distinct events can legitimately share a
+timestamp (a zero-width queue interval between a migration landing and same-instant
+admission), and a sort would shuffle them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from .tracer import TraceEvent, Tracer
+
+__all__ = ["PHASES", "PhaseInterval", "RequestBreakdown", "request_breakdowns"]
+
+#: Canonical phase names, in display order.
+PHASES: Tuple[str, ...] = ("queue", "prefill", "decode", "preempted", "transfer")
+
+#: Event kinds that drive the phase state machine; all others are ignored here.
+_TRANSITIONS = frozenset({
+    "arrive", "enqueue", "admit", "decode_start", "preempt",
+    "swap_out", "swap_in", "migrate", "finish",
+})
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseInterval:
+    """One contiguous ``[start, end]`` span of a request in a single phase."""
+
+    phase: str
+    start: float
+    end: float
+    replica: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class RequestBreakdown:
+    """A completed request's exact phase partition of ``[arrival, completion]``."""
+
+    request_id: int
+    arrival_s: float
+    completion_s: float
+    intervals: Tuple[PhaseInterval, ...]
+
+    def phase_fractions(self) -> Dict[str, Fraction]:
+        """Exact per-phase totals as rationals (floats are exact rationals)."""
+        totals = {phase: Fraction(0) for phase in PHASES}
+        for interval in self.intervals:
+            totals[interval.phase] += Fraction(interval.end) - Fraction(interval.start)
+        return totals
+
+    @property
+    def phases(self) -> Dict[str, float]:
+        """Per-phase totals as floats (each a single rounding of the exact total)."""
+        return {phase: float(total) for phase, total in self.phase_fractions().items()}
+
+    @property
+    def e2e_s(self) -> float:
+        """End-to-end latency, identical to ``RequestMetrics.latency_s``."""
+        return self.completion_s - self.arrival_s
+
+    @property
+    def is_exact(self) -> bool:
+        """Do the phase durations sum *exactly* (as rationals) to end-to-end?"""
+        total = sum(self.phase_fractions().values(), Fraction(0))
+        return total == Fraction(self.completion_s) - Fraction(self.arrival_s)
+
+
+def _walk(request_id: int, events: List[TraceEvent]) -> Optional[RequestBreakdown]:
+    """Run the phase state machine over one request's causal event stream."""
+    intervals: List[PhaseInterval] = []
+    state: Optional[str] = None
+    state_start = 0.0
+    state_replica = 0
+    arrival: Optional[float] = None
+    completion: Optional[float] = None
+
+    def close(ts: float) -> None:
+        nonlocal state
+        if state is not None:
+            intervals.append(PhaseInterval(state, state_start, ts, state_replica))
+            state = None
+
+    def open_phase(phase: str, ts: float, replica: int) -> None:
+        nonlocal state, state_start, state_replica
+        state = phase
+        state_start = ts
+        state_replica = replica
+
+    for ev in events:
+        kind = ev.kind
+        if arrival is None:
+            # "arrive" carries the true arrival time; any other first event (a request
+            # fed to the scheduler without submit()) anchors at its own timestamp.
+            arrival = ev.ts
+        if kind == "arrive":
+            close(ev.ts)
+            open_phase("queue", ev.ts, ev.replica)
+        elif kind == "enqueue":
+            close(ev.ts)
+            open_phase("queue", ev.ts, ev.replica)
+        elif kind == "admit":
+            close(ev.ts)
+            to = (ev.args or {}).get("to", "prefill")
+            open_phase("decode" if to == "decode" else "prefill", ev.ts, ev.replica)
+        elif kind == "decode_start":
+            close(ev.ts)
+            open_phase("decode", ev.ts, ev.replica)
+        elif kind == "preempt":
+            close(ev.ts)
+            open_phase("preempted", ev.ts, ev.replica)
+        elif kind == "swap_out":
+            close(ev.ts)
+            end = ev.end if ev.end is not None else ev.ts
+            intervals.append(PhaseInterval("transfer", ev.ts, end, ev.replica))
+            open_phase("preempted", end, ev.replica)
+        elif kind == "swap_in":
+            close(ev.ts)
+            end = ev.end if ev.end is not None else ev.ts
+            intervals.append(PhaseInterval("transfer", ev.ts, end, ev.replica))
+            to = (ev.args or {}).get("to", "decode")
+            open_phase("decode" if to == "decode" else "prefill", end, ev.replica)
+        elif kind == "migrate":
+            close(ev.ts)
+            end = ev.end if ev.end is not None else ev.ts
+            intervals.append(PhaseInterval("transfer", ev.ts, end, ev.replica))
+            open_phase("queue", end, ev.replica)
+        elif kind == "finish":
+            close(ev.ts)
+            completion = ev.ts
+            # In a disaggregated cluster the prefill-side clone finishes first and the
+            # gap until the migration starts is KV-handoff staging; open it as
+            # transfer.  If this finish is the request's last event, the still-open
+            # interval is naturally discarded (the loop ends without another close).
+            open_phase("transfer", ev.ts, ev.replica)
+
+    if completion is None:
+        return None  # still in flight — no breakdown
+    return RequestBreakdown(
+        request_id=request_id,
+        arrival_s=arrival if arrival is not None else completion,
+        completion_s=completion,
+        intervals=tuple(intervals),
+    )
+
+
+def request_breakdowns(tracer: Tracer) -> List[RequestBreakdown]:
+    """Breakdowns for every *completed* request in the trace, sorted by request id."""
+    per_request: Dict[int, List[TraceEvent]] = {}
+    for ev in tracer.events:
+        if ev.request_id is not None and ev.kind in _TRANSITIONS:
+            per_request.setdefault(ev.request_id, []).append(ev)
+    out = []
+    for request_id, events in per_request.items():
+        breakdown = _walk(request_id, events)
+        if breakdown is not None:
+            out.append(breakdown)
+    out.sort(key=lambda b: b.request_id)
+    return out

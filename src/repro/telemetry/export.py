@@ -1,0 +1,318 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and a schema-validated summary.
+
+Two consumers, two formats:
+
+* :func:`chrome_trace_payload` — the `Chrome trace-event format
+  <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_,
+  loadable in https://ui.perfetto.dev or ``chrome://tracing``.  One *process* track per
+  replica (named with its cluster role), engine iteration / fast-forward spans as
+  complete (``"X"``) events, periodic gauges as counter (``"C"``) series, each
+  request's phase timeline as an async (``"b"``/``"e"``) track keyed by request id,
+  and KV migrations as flow (``"s"``/``"f"``) arrows from the prefill to the decode
+  replica.  Timestamps are microseconds of simulated time.
+* :func:`build_summary` — a compact machine-readable run summary validated against
+  :data:`TELEMETRY_SUMMARY_SCHEMA` with :func:`repro.reporting.schema.validate_payload`
+  before it is returned, so the shape cannot drift silently: event counts by kind,
+  per-request critical-path breakdowns (exactness-checked), aggregate phase totals,
+  counter statistics, preemption *reasons* (KV pressure vs policy victim vs averted by
+  cache eviction), prefix-cache counters, and the engine memo-cache statistics
+  (the previously orphaned ``ServingEngine.cache_stats`` debug hook).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..reporting.schema import validate_payload
+from .breakdown import PHASES, RequestBreakdown, request_breakdowns
+from .tracer import Tracer
+
+__all__ = [
+    "TELEMETRY_SUMMARY_SCHEMA",
+    "chrome_trace_payload",
+    "write_chrome_trace",
+    "build_summary",
+    "write_summary",
+]
+
+#: Span kinds rendered as complete ("X") slices on the replica's engine track.
+_ENGINE_SPANS = frozenset({"iteration", "ff_decode", "ff_mixed"})
+#: Span kinds rendered as slices on the replica's KV-transfer track.
+_TRANSFER_SPANS = frozenset({"swap_out", "swap_in", "migrate"})
+
+_US = 1e6  # simulated seconds -> trace microseconds
+
+TELEMETRY_SUMMARY_SCHEMA = {
+    "telemetry": str,           # format marker + version
+    "label": str,
+    "sample_interval_s": float,
+    "replicas": [{"replica": int, "role": str}],
+    "num_events": int,
+    "event_counts": dict,       # kind -> count
+    "counters": dict,           # "replica<i>.<gauge>" -> {samples,min,max,mean,last}
+    "requests": {
+        "completed": int,
+        "breakdowns_exact": bool,
+        "phase_totals_s": {phase: float for phase in PHASES},
+        "per_request": [
+            {
+                "request_id": int,
+                "arrival_s": float,
+                "completion_s": float,
+                "e2e_s": float,
+                "exact": bool,
+                **{f"{phase}_s": float for phase in PHASES},
+            }
+        ],
+    },
+    "preemptions": {
+        "total": int,
+        "kv_pressure": int,
+        "policy_victim": int,
+        "averted_by_cache_evict": int,
+    },
+    "engine_memo_caches": dict,  # cache name -> {entries, max_entries, evictions}
+}
+
+
+# --------------------------------------------------------------------- chrome trace
+def _role_of(tracer: Tracer, replica: int) -> str:
+    return tracer.replica_roles.get(replica, "replica")
+
+
+def chrome_trace_payload(
+    tracer: Tracer, breakdowns: Optional[Sequence[RequestBreakdown]] = None
+) -> Dict[str, Any]:
+    """Build a Chrome trace-event payload (``{"traceEvents": [...]}``) from a trace.
+
+    Pass precomputed ``breakdowns`` to avoid walking the event stream twice when the
+    caller also builds the summary.
+    """
+    if breakdowns is None:
+        breakdowns = request_breakdowns(tracer)
+    events: List[Dict[str, Any]] = []
+    replicas = sorted(
+        {ev.replica for ev in tracer.events}
+        | {cs.replica for cs in tracer.counters}
+        | set(tracer.replica_roles)
+    )
+    for replica in replicas:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": replica, "tid": 0,
+            "args": {"name": f"replica {replica} ({_role_of(tracer, replica)})"},
+        })
+        for tid, thread in ((0, "engine"), (1, "kv-transfer")):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": replica, "tid": tid,
+                "args": {"name": thread},
+            })
+
+    for ev in tracer.events:
+        base_args: Dict[str, Any] = dict(ev.args or {})
+        if ev.request_id is not None:
+            base_args["request_id"] = ev.request_id
+        if ev.kind in _ENGINE_SPANS:
+            events.append({
+                "name": ev.kind, "cat": "engine", "ph": "X",
+                "pid": ev.replica, "tid": 0,
+                "ts": ev.ts * _US, "dur": ev.duration_s * _US,
+                "args": base_args,
+            })
+        elif ev.kind in _TRANSFER_SPANS:
+            events.append({
+                "name": ev.kind, "cat": "kv", "ph": "X",
+                "pid": ev.replica, "tid": 1,
+                "ts": ev.ts * _US, "dur": ev.duration_s * _US,
+                "args": base_args,
+            })
+        else:
+            events.append({
+                "name": ev.kind, "cat": "lifecycle", "ph": "i", "s": "t",
+                "pid": ev.replica, "tid": 0,
+                "ts": ev.ts * _US, "args": base_args,
+            })
+
+    for cs in tracer.counters:
+        for name, value in cs.values.items():
+            events.append({
+                "name": name, "cat": "gauges", "ph": "C",
+                "pid": cs.replica, "tid": 0,
+                "ts": cs.ts * _US, "args": {name: value},
+            })
+
+    # Per-request phase timelines as async tracks keyed by the request id.
+    for bd in breakdowns:
+        for interval in bd.intervals:
+            common = {
+                "cat": "request", "id": bd.request_id, "name": interval.phase,
+                "pid": interval.replica, "tid": 0,
+            }
+            events.append({**common, "ph": "b", "ts": interval.start * _US})
+            events.append({**common, "ph": "e", "ts": interval.end * _US})
+
+    # Flow arrows for cluster KV migrations: start on the prefill replica, finish on
+    # the replica that re-enqueues the migrated request (its "enqueue" event lands at
+    # exactly the migration's end timestamp).
+    enqueues: Dict[int, List[Any]] = {}
+    for ev in tracer.events_of("enqueue"):
+        if ev.request_id is not None:
+            enqueues.setdefault(ev.request_id, []).append(ev)
+    flow_id = 0
+    for ev in tracer.events_of("migrate"):
+        if ev.request_id is None or ev.end is None:
+            continue
+        landing = next(
+            (eq for eq in enqueues.get(ev.request_id, []) if eq.ts >= ev.end), None
+        )
+        if landing is None:
+            continue
+        flow_id += 1
+        common = {"cat": "flow", "name": "kv-migrate", "id": flow_id}
+        events.append({**common, "ph": "s", "pid": ev.replica, "tid": 1,
+                       "ts": ev.ts * _US})
+        events.append({**common, "ph": "f", "bp": "e", "pid": landing.replica,
+                       "tid": 1, "ts": landing.ts * _US})
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str,
+    breakdowns: Optional[Sequence[RequestBreakdown]] = None,
+) -> Dict[str, Any]:
+    """Write the Chrome trace JSON to ``path``; returns the payload."""
+    payload = chrome_trace_payload(tracer, breakdowns)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+        fh.write("\n")
+    return payload
+
+
+# --------------------------------------------------------------------- summary JSON
+def _counter_stats(tracer: Tracer) -> Dict[str, Dict[str, float]]:
+    stats: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, int] = {}
+    for cs in tracer.counters:
+        for name, value in cs.values.items():
+            key = f"replica{cs.replica}.{name}"
+            slot = stats.get(key)
+            if slot is None:
+                stats[key] = {"min": value, "max": value, "mean": value, "last": value}
+                counts[key] = 1
+            else:
+                slot["min"] = min(slot["min"], value)
+                slot["max"] = max(slot["max"], value)
+                slot["mean"] += value  # running sum; divided below
+                slot["last"] = value
+                counts[key] += 1
+    for key, slot in stats.items():
+        slot["samples"] = counts[key]
+        slot["mean"] /= counts[key]
+    return dict(sorted(stats.items()))
+
+
+def _preemption_counts(
+    tracer: Tracer, scheduler_stats: Optional[Sequence[Any]]
+) -> Dict[str, int]:
+    if scheduler_stats:
+        return {
+            "total": sum(s.preemptions for s in scheduler_stats),
+            "kv_pressure": sum(s.preemptions_kv_pressure for s in scheduler_stats),
+            "policy_victim": sum(s.preemptions_policy_victim for s in scheduler_stats),
+            "averted_by_cache_evict": sum(
+                s.preemptions_averted_by_cache for s in scheduler_stats
+            ),
+        }
+    by_reason = {"kv_pressure": 0, "policy_victim": 0}
+    for ev in tracer.events_of("preempt"):
+        reason = (ev.args or {}).get("reason")
+        if reason in by_reason:
+            by_reason[reason] += 1
+    return {
+        "total": by_reason["kv_pressure"] + by_reason["policy_victim"],
+        **by_reason,
+        "averted_by_cache_evict": sum(1 for _ in tracer.events_of("preempt_averted")),
+    }
+
+
+def build_summary(
+    tracer: Tracer,
+    scheduler_stats: Optional[Sequence[Any]] = None,
+    breakdowns: Optional[Sequence[RequestBreakdown]] = None,
+) -> Dict[str, Any]:
+    """Build (and schema-validate) the telemetry summary payload.
+
+    ``scheduler_stats`` is an optional :class:`SchedulerStats` — or a sequence of them,
+    one per replica — and when given, preemption-reason and prefix-cache counters come
+    from the authoritative scheduler counters instead of being re-derived from events.
+    """
+    if scheduler_stats is not None and not isinstance(scheduler_stats, (list, tuple)):
+        scheduler_stats = [scheduler_stats]
+    if breakdowns is None:
+        breakdowns = request_breakdowns(tracer)
+    phase_fraction_totals = {phase: 0 for phase in PHASES}
+    per_request = []
+    all_exact = True
+    for bd in breakdowns:
+        fractions = bd.phase_fractions()
+        exact = bd.is_exact
+        all_exact = all_exact and exact
+        row: Dict[str, Any] = {
+            "request_id": bd.request_id,
+            "arrival_s": bd.arrival_s,
+            "completion_s": bd.completion_s,
+            "e2e_s": bd.e2e_s,
+            "exact": exact,
+        }
+        for phase in PHASES:
+            row[f"{phase}_s"] = float(fractions[phase])
+            phase_fraction_totals[phase] += fractions[phase]
+        per_request.append(row)
+
+    replicas = sorted(
+        {ev.replica for ev in tracer.events} | set(tracer.replica_roles)
+    )
+    payload: Dict[str, Any] = {
+        "telemetry": "repro.telemetry/v1",
+        "label": tracer.label,
+        "sample_interval_s": tracer.sample_interval_s,
+        "replicas": [
+            {"replica": replica, "role": _role_of(tracer, replica)}
+            for replica in replicas
+        ],
+        "num_events": tracer.num_events,
+        "event_counts": tracer.event_counts(),
+        "counters": _counter_stats(tracer),
+        "requests": {
+            "completed": len(per_request),
+            "breakdowns_exact": all_exact,
+            "phase_totals_s": {
+                phase: float(total) for phase, total in phase_fraction_totals.items()
+            },
+            "per_request": per_request,
+        },
+        "preemptions": _preemption_counts(tracer, scheduler_stats),
+        "engine_memo_caches": tracer.engine_memo_stats(),
+    }
+    if scheduler_stats:
+        payload["prefix_cache"] = {
+            "hits": sum(s.prefix_cache_hits for s in scheduler_stats),
+            "misses": sum(s.prefix_cache_misses for s in scheduler_stats),
+            "saved_tokens": sum(s.prefix_saved_tokens for s in scheduler_stats),
+        }
+    validate_payload(payload, TELEMETRY_SUMMARY_SCHEMA)
+    return payload
+
+
+def write_summary(
+    tracer: Tracer, path: str,
+    scheduler_stats: Optional[Sequence[Any]] = None,
+    breakdowns: Optional[Sequence[RequestBreakdown]] = None,
+) -> Dict[str, Any]:
+    """Write the schema-validated summary JSON to ``path``; returns the payload."""
+    payload = build_summary(tracer, scheduler_stats, breakdowns)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return payload

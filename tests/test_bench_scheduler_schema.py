@@ -169,6 +169,26 @@ class TestBenchSchema:
         assert best["goodput_per_gpu_rps"] > 0.0
         assert best["gpus"] >= 1
 
+    def test_tracing_section_certifies_the_null_and_traced_paths(self, bench, payload):
+        """PR-8's observability criteria, pinned against the committed trajectory: the
+        traced re-run of trace_simulation is bit-identical to the untraced one, every
+        phase breakdown tiles exactly, the tracer-off re-measure stays within noise of
+        the baseline wall (the null path is free), and a Chrome trace artifact exists."""
+        section = payload["tracing"]
+        assert section["bit_identical"] is True
+        assert section["breakdowns_exact"] is True
+        assert section["events"] > 0
+        assert section["counter_samples"] > 0
+        assert section["harness"]["off_vs_baseline_ratio"] > 0.0
+        assert section["harness"]["traced_wall_time_s"] > 0.0
+        assert section["trace_artifact"] == os.path.basename(bench.TRACE_RESULT_PATH)
+        artifact = os.path.join(_ROOT, section["trace_artifact"])
+        with open(artifact, encoding="utf-8") as fh:
+            trace = json.load(fh)
+        assert trace["traceEvents"]  # Perfetto-loadable: non-empty event array
+        phases = {ev["ph"] for ev in trace["traceEvents"]}
+        assert {"X", "C", "b", "e"} <= phases  # spans, counters, async request tracks
+
     def test_committed_trajectory_records_fast_forward_speedup(self, payload):
         """PR-4's acceptance criterion, pinned against the committed trajectory: the
         fast-forward simulator clears 10x the PR-3 scheduler iteration rate (14,831 it/s)

@@ -1,0 +1,227 @@
+"""The two contracts the telemetry subsystem stands on, driven property-style.
+
+1. **Exact phase tiling** — for any traced request, the queue / prefill / decode /
+   preempted / transfer durations reconstructed from the event stream sum *exactly*
+   (as rationals, bit-for-bit after float conversion) to the end-to-end latency that
+   ``RequestMetrics`` reports.  Not approximately: adjacent intervals share endpoint
+   floats, so the telescoping sum collapses to ``completion - arrival`` with no
+   accumulated error.  Hypothesis drives this across random traces, KV budgets tight
+   enough to preempt, every preemption policy, prefix caching on and off, and both
+   cluster modes.
+
+2. **Observational purity** — attaching a tracer changes nothing.  ``SchedulerStats``,
+   every per-request field, and every ``RequestMetrics`` are bit-identical between a
+   traced and an untraced run of the same workload.
+"""
+
+import copy
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import simulate_cluster, simulate_serving
+from repro.serving.engine import ServingEngine
+from repro.serving.metrics import request_metrics
+from repro.serving.scheduler import ContinuousBatchingScheduler, Request
+from repro.telemetry import Tracer, request_breakdowns
+from repro.workloads.traces import agent_swarm_trace
+
+MB = 2**20
+GB = 2**30
+
+
+def assert_breakdowns_tile_exactly(tracer, metrics):
+    """Every completed request's phase durations must sum exactly to its latency."""
+    by_id = {m.request_id: m for m in metrics}
+    breakdowns = request_breakdowns(tracer)
+    assert len(breakdowns) == len(by_id)
+    for bd in breakdowns:
+        assert bd.is_exact, (
+            f"request {bd.request_id}: phase intervals do not tile "
+            f"[{bd.arrival_s}, {bd.completion_s}]"
+        )
+        m = by_id[bd.request_id]
+        assert bd.e2e_s == m.latency_s  # bit-for-bit, no tolerance
+        assert sum(iv.duration_s for iv in bd.intervals) == pytest.approx(bd.e2e_s)
+
+
+def assert_runs_identical(off, on):
+    """A traced simulation must be bit-identical to the untraced one."""
+    for f in dataclasses.fields(off.stats):
+        if f.name == "requests":
+            continue
+        assert getattr(off.stats, f.name) == getattr(on.stats, f.name), f.name
+    lhs = sorted(off.stats.requests, key=lambda r: r.request_id)
+    rhs = sorted(on.stats.requests, key=lambda r: r.request_id)
+    assert len(lhs) == len(rhs)
+    for a, b in zip(lhs, rhs):
+        for f in dataclasses.fields(Request):
+            assert getattr(a, f.name) == getattr(b, f.name), f.name
+    assert off.per_request == on.per_request  # frozen dataclasses: field equality
+
+
+@st.composite
+def random_traces(draw):
+    n = draw(st.integers(min_value=1, max_value=16))
+    requests = []
+    for i in range(n):
+        requests.append(
+            Request(
+                request_id=i,
+                prompt_tokens=draw(st.integers(min_value=1, max_value=1200)),
+                output_tokens=draw(st.integers(min_value=1, max_value=300)),
+                arrival_time_s=draw(
+                    st.floats(
+                        min_value=0.0, max_value=2.0,
+                        allow_nan=False, allow_infinity=False,
+                    )
+                ),
+                priority=draw(st.integers(min_value=0, max_value=3)),
+            )
+        )
+    return requests
+
+
+class TestExactTilingProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        trace=random_traces(),
+        kv_budget=st.sampled_from([512 * MB, 2 * GB, None]),
+        host_budget=st.sampled_from([0, 512 * MB]),
+        preemption=st.sampled_from(["recompute", "swap", "hybrid"]),
+        scheduling=st.sampled_from(["fcfs", "priority", "sjf", "fairness"]),
+        overlap=st.booleans(),
+        fast_forward=st.booleans(),
+    )
+    def test_random_traces_tile_exactly(
+        self, trace, kv_budget, host_budget, preemption, scheduling, overlap,
+        fast_forward,
+    ):
+        tracer = Tracer()
+        scheduler = ContinuousBatchingScheduler(
+            ServingEngine("liquidserve", "llama2-7b"),
+            kv_budget_bytes=kv_budget,
+            host_kv_budget_bytes=host_budget,
+            preemption_policy=preemption,
+            scheduling_policy=scheduling,
+            overlap_swap_transfers=overlap,
+            fast_forward=fast_forward,
+            tracer=tracer,
+        )
+        stats = scheduler.run([copy.copy(r) for r in trace])
+        assert_breakdowns_tile_exactly(tracer, request_metrics(stats.requests))
+
+    @pytest.mark.parametrize("preemption", ["recompute", "swap", "hybrid"])
+    def test_kv_pressure_churn_tiles_exactly(self, preemption):
+        """Preemption storms: re-queues, swap DMAs and re-prefills all tile."""
+        tracer = Tracer()
+        sim = simulate_serving(
+            "liquidserve", "llama2-7b", num_requests=60, arrival_rate_rps=20.0,
+            seed=3, preemption_policy=preemption, kv_budget_bytes=GB,
+            host_kv_budget_bytes=GB, tracer=tracer,
+        )
+        assert sim.stats.preemptions > 0  # the scenario actually preempts
+        assert_breakdowns_tile_exactly(tracer, sim.per_request)
+
+    def test_prefix_cache_eviction_churn_tiles_exactly(self):
+        tracer = Tracer()
+        scheduler = ContinuousBatchingScheduler(
+            ServingEngine("liquidserve", "llama2-7b"),
+            prefix_caching=True, kv_budget_bytes=512 * MB,
+            host_kv_budget_bytes=GB, preemption_policy="swap", tracer=tracer,
+        )
+        stats = scheduler.run(agent_swarm_trace(3, 4, 4, 12.0, seed=13))
+        assert stats.prefix_blocks_evicted > 0
+        assert_breakdowns_tile_exactly(tracer, request_metrics(stats.requests))
+
+    def test_colocated_cluster_tiles_exactly(self):
+        tracer = Tracer()
+        sim = simulate_cluster(
+            "liquidserve", "llama2-7b", mode="colocated", num_replicas=3,
+            num_requests=80, arrival_rate_rps=30.0, seed=5, tracer=tracer,
+        )
+        assert_breakdowns_tile_exactly(tracer, sim.per_request)
+
+    def test_disaggregated_cluster_tiles_exactly(self):
+        """KV handoffs: the migration gap lands in the transfer phase, exactly."""
+        tracer = Tracer()
+        sim = simulate_cluster(
+            "liquidserve", "llama2-7b", mode="disaggregated",
+            num_prefill_replicas=2, num_decode_replicas=2,
+            num_requests=80, arrival_rate_rps=25.0, seed=6, tracer=tracer,
+        )
+        assert sum(1 for _ in tracer.events_of("migrate")) > 0
+        assert_breakdowns_tile_exactly(tracer, sim.per_request)
+        transfer = sum(
+            bd.phases["transfer"] for bd in request_breakdowns(tracer)
+        )
+        assert transfer > 0.0  # handoffs show up as transfer time
+
+
+class TestObservationalPurity:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        trace=random_traces(),
+        preemption=st.sampled_from(["recompute", "swap", "hybrid"]),
+        prefix_caching=st.booleans(),
+    )
+    def test_tracing_leaves_stats_bit_identical(
+        self, trace, preemption, prefix_caching
+    ):
+        kwargs = dict(
+            kv_budget_bytes=GB,
+            host_kv_budget_bytes=GB,
+            preemption_policy=preemption,
+            prefix_caching=prefix_caching,
+        )
+
+        def run(tracer):
+            scheduler = ContinuousBatchingScheduler(
+                ServingEngine("liquidserve", "llama2-7b"), tracer=tracer, **kwargs
+            )
+            return scheduler.run([copy.copy(r) for r in trace])
+
+        off, on = run(None), run(Tracer())
+        for f in dataclasses.fields(off):
+            if f.name == "requests":
+                continue
+            assert getattr(off, f.name) == getattr(on, f.name), f.name
+        for a, b in zip(
+            sorted(off.requests, key=lambda r: r.request_id),
+            sorted(on.requests, key=lambda r: r.request_id),
+        ):
+            for f in dataclasses.fields(Request):
+                assert getattr(a, f.name) == getattr(b, f.name), f.name
+        assert request_metrics(off.requests) == request_metrics(on.requests)
+
+    def test_simulate_serving_identical_under_pressure(self):
+        kwargs = dict(
+            num_requests=60, arrival_rate_rps=20.0, seed=3,
+            preemption_policy="hybrid", kv_budget_bytes=GB, host_kv_budget_bytes=GB,
+        )
+        off = simulate_serving("liquidserve", "llama2-7b", **kwargs)
+        on = simulate_serving("liquidserve", "llama2-7b", tracer=Tracer(), **kwargs)
+        assert off.stats.preemptions > 0
+        assert_runs_identical(off, on)
+
+    @pytest.mark.parametrize(
+        "mode,shape",
+        [
+            ("colocated", dict(num_replicas=2)),
+            ("disaggregated", dict(num_prefill_replicas=1, num_decode_replicas=1)),
+        ],
+    )
+    def test_simulate_cluster_identical(self, mode, shape):
+        kwargs = dict(
+            mode=mode, num_requests=60, arrival_rate_rps=20.0, seed=4, **shape
+        )
+        off = simulate_cluster("liquidserve", "llama2-7b", **kwargs)
+        on = simulate_cluster("liquidserve", "llama2-7b", tracer=Tracer(), **kwargs)
+        for s_off, s_on in zip(off.replica_stats, on.replica_stats):
+            for f in dataclasses.fields(s_off):
+                if f.name == "requests":
+                    continue
+                assert getattr(s_off, f.name) == getattr(s_on, f.name), f.name
+        assert off.per_request == on.per_request
+        assert off.throughput_tokens_per_s == on.throughput_tokens_per_s
